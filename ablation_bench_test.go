@@ -1,0 +1,146 @@
+// Ablation benchmarks: quantify the design choices DESIGN.md calls out by
+// knocking each one out and measuring the throughput that remains.
+//
+//	go test -bench=Ablation -benchmem
+package steadystate_test
+
+import (
+	"math/big"
+	"testing"
+
+	steadystate "repro"
+	"repro/internal/baseline"
+)
+
+// BenchmarkAblationSingleTree measures what the best single extracted
+// reduction tree achieves versus the full weighted family on the Fig-9
+// platform: the gap is the value of mixing trees (the paper's key insight
+// for Series of Reduces).
+func BenchmarkAblationSingleTree(b *testing.B) {
+	pr := fig9Problem(b)
+	sol, err := pr.Solve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	app := sol.Integerize()
+	trees, err := app.ExtractTrees()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var best steadystate.Rat
+		for _, tree := range trees {
+			tp, err := baseline.TreeThroughput(pr, tree)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if best == nil || tp.Cmp(best) > 0 {
+				best = tp
+			}
+		}
+		if best.Cmp(sol.Throughput()) > 0 {
+			b.Fatalf("single tree %s beats the family %s — impossible",
+				best.RatString(), sol.Throughput().RatString())
+		}
+		ratio, _ := new(big.Rat).Quo(sol.Throughput(), best).Float64()
+		b.ReportMetric(ratio, "family/single")
+	}
+}
+
+// BenchmarkAblationComputeAtTarget disables the paper's interleaving of
+// computation with communication by forcing all merges onto the target
+// (gather-then-reduce). On Fig 6 this halves the throughput.
+func BenchmarkAblationComputeAtTarget(b *testing.B) {
+	p, order, target := steadystate.PaperFig6()
+	free, err := steadystate.SolveReduce(p, order, target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr, err := steadystate.NewReduceProblem(p, order, target)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pr.ComputeAt = []steadystate.NodeID{target}
+		sol, err := pr.Solve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Throughput().Cmp(free.Throughput()) > 0 {
+			b.Fatal("restriction increased throughput")
+		}
+		ratio, _ := new(big.Rat).Quo(free.Throughput(), sol.Throughput()).Float64()
+		b.ReportMetric(ratio, "free/restricted")
+	}
+}
+
+// BenchmarkAblationCycleCancellation measures the tree-extraction pipeline
+// with the full solution (extraction requires the cycle-cancelled transfer
+// support; this bench tracks its cost on the largest instance).
+func BenchmarkAblationCycleCancellation(b *testing.B) {
+	pr := fig9Problem(b)
+	sol, err := pr.Solve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app := sol.Integerize()
+		if _, err := app.ExtractTrees(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGatherVsReduce contrasts a gather (concatenation sizes,
+// free merges) with a same-shape reduce (unit sizes, real merges) on a
+// chain: gathers cannot shrink data en route, so relaying buys nothing,
+// while reduces keep link load constant.
+func BenchmarkAblationGatherVsReduce(b *testing.B) {
+	p := steadystate.Chain(4, steadystate.R(1, 1), steadystate.R(1, 1))
+	var order []steadystate.NodeID
+	for _, n := range p.Nodes() {
+		order = append(order, n.ID)
+	}
+	for i := 0; i < b.N; i++ {
+		g, err := steadystate.NewGatherProblem(p, order, order[0], steadystate.R(1, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		gSol, err := g.Solve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rSol, err := steadystate.SolveReduce(p, order, order[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rSol.Throughput().Cmp(gSol.Throughput()) < 0 {
+			b.Fatal("reduce should not be slower than gather on a chain")
+		}
+		ratio, _ := new(big.Rat).Quo(rSol.Throughput(), gSol.Throughput()).Float64()
+		b.ReportMetric(ratio, "reduce/gather")
+	}
+}
+
+// BenchmarkAblationUnsplitCost measures the period blow-up of forbidding
+// split messages (Figure 4(b) vs 4(a)).
+func BenchmarkAblationUnsplitCost(b *testing.B) {
+	p, src, targets := steadystate.PaperFig2()
+	sol, err := steadystate.SolveScatter(p, src, targets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched, err := steadystate.ScatterSchedule(sol)
+		if err != nil {
+			b.Fatal(err)
+		}
+		un := sched.Unsplit()
+		blowup, _ := new(big.Rat).Quo(un.Period, sched.Period).Float64()
+		b.ReportMetric(blowup, "period-blowup")
+	}
+}

@@ -1,0 +1,286 @@
+// Command paperbench regenerates every experimental artifact of the paper
+// (Legrand/Marchal/Robert, IPPS 2004) as text tables: the figure-by-figure
+// results, the asymptotic-optimality convergence of Propositions 1 and 3,
+// the fixed-period approximation sweep of Section 4.6, baseline
+// comparisons, and solver scaling. EXPERIMENTS.md records the paper-vs-
+// measured comparison produced by this harness.
+//
+// Usage:
+//
+//	paperbench            # run everything
+//	paperbench -run fig9  # run one experiment (fig2|fig3|fig4|fig6|fig7|fig9|prop1|prop3|prop4|gossip|prefix|baseline|scaling)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/big"
+	"os"
+	"strings"
+	"time"
+
+	steadystate "repro"
+	"repro/internal/topology"
+)
+
+// out is the report destination; tests point it at a buffer.
+var out io.Writer = os.Stdout
+
+func main() {
+	run := flag.String("run", "", "run a single experiment by id (default: all)")
+	flag.Parse()
+
+	experiments := []struct {
+		id string
+		fn func()
+	}{
+		{"fig2", fig2}, {"fig3", fig3}, {"fig4", fig4}, {"fig6", fig6},
+		{"fig7", fig7}, {"fig9", fig9}, {"prop1", prop1}, {"prop3", prop3},
+		{"prop4", prop4}, {"gossip", gossipExp}, {"prefix", prefixExp},
+		{"baseline", baselineExp}, {"scaling", scaling},
+	}
+	any := false
+	for _, e := range experiments {
+		if *run != "" && e.id != *run {
+			continue
+		}
+		any = true
+		banner(e.id)
+		start := time.Now()
+		e.fn()
+		fmt.Fprintf(out, "[%s done in %v]\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n", *run)
+		os.Exit(1)
+	}
+}
+
+func banner(id string) {
+	fmt.Fprintf(out, "\n===== %s =====\n", strings.ToUpper(id))
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+		os.Exit(1)
+	}
+	return v
+}
+
+func f(r steadystate.Rat) float64 {
+	v, _ := r.Float64()
+	return v
+}
+
+// fig2: toy scatter — paper reports TP = 1/2 with multi-route m0.
+func fig2() {
+	p, src, targets := steadystate.PaperFig2()
+	sol := must(steadystate.SolveScatter(p, src, targets))
+	fmt.Fprintf(out, "paper: TP = 1/2 (one scatter every two time units)\n")
+	fmt.Fprintf(out, "ours:  TP = %s\n", sol.Throughput().RatString())
+	fmt.Fprint(out, sol.String())
+}
+
+// fig3: the bipartite matchings of the Fig-2 period — paper finds 4.
+func fig3() {
+	p, src, targets := steadystate.PaperFig2()
+	sol := must(steadystate.SolveScatter(p, src, targets))
+	sched := must(steadystate.ScatterSchedule(sol))
+	fmt.Fprintf(out, "paper: 4 matchings tile the period\n")
+	fmt.Fprintf(out, "ours:  %d matchings, busy %s of period %s\n",
+		len(sched.Slots), sched.BusyTime().RatString(), sched.Period.RatString())
+	_ = p
+}
+
+// fig4: the concrete schedules — split (exact period) and unsplit.
+func fig4() {
+	p, src, targets := steadystate.PaperFig2()
+	_ = p
+	sol := must(steadystate.SolveScatter(p, src, targets))
+	sched := must(steadystate.ScatterSchedule(sol))
+	fmt.Fprintf(out, "paper: period 12 with split messages; period 48 without\n")
+	fmt.Fprintf(out, "ours (split allowed, period %s):\n%s", sched.Period.RatString(), sched.Gantt())
+	un := sched.Unsplit()
+	fmt.Fprintf(out, "ours (no splits, period %s):\n%s", un.Period.RatString(), un.Gantt())
+}
+
+// fig6: toy reduce — paper reports TP = 1 (period 3, three ops).
+func fig6() {
+	p, order, target := steadystate.PaperFig6()
+	sol := must(steadystate.SolveReduce(p, order, target))
+	fmt.Fprintf(out, "paper: TP = 1 (three reduces every three time units)\n")
+	fmt.Fprintf(out, "ours:  TP = %s  (LP: %d vars, %d constraints, %d pivots)\n",
+		sol.Throughput().RatString(), sol.Stats.Vars, sol.Stats.Constraints, sol.Stats.Pivots)
+	fmt.Fprint(out, sol.String())
+}
+
+// fig7: reduction trees of the Fig-6 solution — paper finds two (1/3, 2/3).
+func fig7() {
+	p, order, target := steadystate.PaperFig6()
+	sol := must(steadystate.SolveReduce(p, order, target))
+	app := sol.Integerize()
+	trees := must(app.ExtractTrees())
+	fmt.Fprintf(out, "paper: 2 trees with throughputs 1/3 and 2/3\n")
+	fmt.Fprintf(out, "ours:  %d tree(s) covering %s ops per period %s\n",
+		len(trees), app.Ops.String(), app.Period.String())
+	pr := must(steadystate.NewReduceProblem(p, order, target))
+	for _, tr := range trees {
+		fmt.Fprint(out, tr.String(pr))
+	}
+}
+
+// fig9: the Tiers experiment — paper reports TP = 2/9 and two trees.
+func fig9() {
+	p, order, target := steadystate.PaperFig9()
+	pr := must(steadystate.NewReduceProblem(p, order, target))
+	size := steadystate.PaperFig9MessageSize()
+	pr.SizeOf = func(steadystate.ReduceRange) steadystate.Rat { return size }
+	start := time.Now()
+	sol := must(pr.Solve())
+	fmt.Fprintf(out, "paper: TP = 2/9 ≈ 0.2222 (exact bandwidths not recoverable; see DESIGN.md)\n")
+	fmt.Fprintf(out, "ours:  TP = %s ≈ %.4f  (LP: %d vars, %d constraints, %d pivots, %v)\n",
+		sol.Throughput().RatString(), f(sol.Throughput()),
+		sol.Stats.Vars, sol.Stats.Constraints, sol.Stats.Pivots, time.Since(start).Round(time.Millisecond))
+	app := sol.Integerize()
+	trees := must(app.ExtractTrees())
+	fmt.Fprintf(out, "paper: 2 reduction trees of weight 1/9 each (figs 11-12)\n")
+	fmt.Fprintf(out, "ours:  %d reduction tree(s), weights:", len(trees))
+	for _, tr := range trees {
+		fmt.Fprintf(out, " %s/%s", tr.Weight.String(), app.Period.String())
+	}
+	fmt.Fprintln(out)
+	for i, tr := range trees {
+		fmt.Fprintf(out, "--- tree %d ---\n%s", i+1, tr.String(pr))
+	}
+}
+
+// prop1: asymptotic optimality of the scatter protocol.
+func prop1() {
+	p, src, targets := steadystate.PaperFig2()
+	_ = p
+	sol := must(steadystate.SolveScatter(p, src, targets))
+	m := steadystate.ScatterSimModel(sol)
+	fmt.Fprintf(out, "%-10s %-14s %-14s %s\n", "periods", "delivered", "bound TP*K", "ratio")
+	for _, periods := range []int{10, 50, 100, 500, 1000, 5000} {
+		res := must(steadystate.Simulate(m, periods))
+		k := new(big.Int).Mul(big.NewInt(int64(periods)), m.Period)
+		bound := new(big.Rat).Mul(sol.Throughput(), new(big.Rat).SetInt(k))
+		ratio := new(big.Rat).Quo(new(big.Rat).SetInt(res.MinDelivered()), bound)
+		fmt.Fprintf(out, "%-10d %-14s %-14s %.6f\n", periods, res.MinDelivered(), bound.RatString(), f(ratio))
+	}
+}
+
+// prop3: asymptotic optimality of the reduce protocol.
+func prop3() {
+	p, order, target := steadystate.PaperFig6()
+	sol := must(steadystate.SolveReduce(p, order, target))
+	app := sol.Integerize()
+	m := steadystate.ReduceSimModel(app)
+	fmt.Fprintf(out, "%-10s %-14s %-14s %s\n", "periods", "delivered", "bound TP*K", "ratio")
+	for _, periods := range []int{10, 50, 100, 500, 1000, 5000} {
+		res := must(steadystate.Simulate(m, periods))
+		k := new(big.Int).Mul(big.NewInt(int64(periods)), m.Period)
+		bound := new(big.Rat).Mul(sol.Throughput(), new(big.Rat).SetInt(k))
+		ratio := new(big.Rat).Quo(new(big.Rat).SetInt(res.MinDelivered()), bound)
+		fmt.Fprintf(out, "%-10d %-14s %-14s %.6f\n", periods, res.MinDelivered(), bound.RatString(), f(ratio))
+	}
+}
+
+// prop4: fixed-period truncation sweep on the Fig-9 trees.
+func prop4() {
+	p, order, target := steadystate.PaperFig9()
+	pr := must(steadystate.NewReduceProblem(p, order, target))
+	size := steadystate.PaperFig9MessageSize()
+	pr.SizeOf = func(steadystate.ReduceRange) steadystate.Rat { return size }
+	sol := must(pr.Solve())
+	app := sol.Integerize()
+	trees := must(app.ExtractTrees())
+	fmt.Fprintf(out, "TP = %s, %d trees, exact period %s\n", sol.Throughput().RatString(), len(trees), app.Period.String())
+	fmt.Fprintf(out, "%-10s %-16s %-16s %s\n", "T_fixed", "throughput", "loss", "bound card/T")
+	for _, fixed := range []int64{5, 10, 50, 100, 1000, 10000} {
+		plan := must(steadystate.ApproximateFixedPeriod(app, trees, big.NewInt(fixed)))
+		bound := big.NewRat(int64(len(trees)), fixed)
+		fmt.Fprintf(out, "%-10d %-16s %-16s %s\n", fixed,
+			plan.Throughput.RatString(), plan.Loss.RatString(), bound.RatString())
+	}
+}
+
+// gossipExp: the Section 3.5 gossip LP on a Tiers platform.
+func gossipExp() {
+	p := steadystate.Tiers(steadystate.DefaultTiersConfig(17))
+	parts := p.Participants()
+	sol := must(steadystate.SolveGossip(p, parts[:3], parts[len(parts)-3:]))
+	fmt.Fprintf(out, "tiers 3x3 gossip: TP = %s ≈ %.5f (LP %d vars, %d constraints)\n",
+		sol.Throughput().RatString(), f(sol.Throughput()), sol.Stats.Vars, sol.Stats.Constraints)
+	sched := must(steadystate.GossipSchedule(sol))
+	fmt.Fprintf(out, "schedule: %d slots, busy %s of period %s\n",
+		len(sched.Slots), sched.BusyTime().RatString(), sched.Period.RatString())
+}
+
+// prefixExp: the Section 6 extension on the Fig-6 triangle.
+func prefixExp() {
+	p, order, _ := steadystate.PaperFig6()
+	sol := must(steadystate.SolvePrefix(p, order))
+	fmt.Fprintf(out, "fig6 triangle parallel prefix: TP = %s\n", sol.Throughput().RatString())
+	fmt.Fprint(out, sol.String())
+}
+
+// baselineExp: LP vs fixed-plan baselines on the paper platforms.
+func baselineExp() {
+	// Scatter on Fig 2.
+	{
+		p, src, targets := steadystate.PaperFig2()
+		lpSol := must(steadystate.SolveScatter(p, src, targets))
+		base := must(steadystate.SinglePathScatter(p, src, targets))
+		fmt.Fprintf(out, "%-28s %-12s %-12s %s\n", "scatter fig2", "LP", "single-path", "LP/single")
+		ratio := new(big.Rat).Quo(lpSol.Throughput(), base.Throughput)
+		fmt.Fprintf(out, "%-28s %-12s %-12s %.3f\n", "", lpSol.Throughput().RatString(),
+			base.Throughput.RatString(), f(ratio))
+	}
+	// Reduce on Fig 9.
+	{
+		p, order, target := steadystate.PaperFig9()
+		pr := must(steadystate.NewReduceProblem(p, order, target))
+		size := steadystate.PaperFig9MessageSize()
+		pr.SizeOf = func(steadystate.ReduceRange) steadystate.Rat { return size }
+		lpSol := must(pr.Solve())
+		flat := must(steadystate.FlatReduceTree(pr))
+		bin := must(steadystate.BinaryReduceTree(pr))
+		fmt.Fprintf(out, "%-28s %-12s %-12s %-12s\n", "reduce fig9", "LP", "flat-tree", "binary-tree")
+		fmt.Fprintf(out, "%-28s %-12s %-12s %-12s\n", "",
+			lpSol.Throughput().RatString(), flat.Throughput.RatString(), bin.Throughput.RatString())
+		fmt.Fprintf(out, "LP wins by %.2fx over flat, %.2fx over binary\n",
+			f(new(big.Rat).Quo(lpSol.Throughput(), flat.Throughput)),
+			f(new(big.Rat).Quo(lpSol.Throughput(), bin.Throughput)))
+	}
+}
+
+// scaling: LP size and solve time as the platform grows.
+func scaling() {
+	fmt.Fprintf(out, "%-22s %-8s %-8s %-8s %-10s %s\n", "platform", "vars", "cons", "pivots", "time", "TP")
+	for _, nLans := range []int{2, 3, 4, 5} {
+		cfg := steadystate.DefaultTiersConfig(7)
+		cfg.LANs = nLans
+		p := steadystate.Tiers(cfg)
+		parts := p.Participants()
+		start := time.Now()
+		sol := must(steadystate.SolveScatter(p, parts[0], parts[1:]))
+		fmt.Fprintf(out, "scatter-tiers-%-9d %-8d %-8d %-8d %-10v %s\n", nLans,
+			sol.Stats.Vars, sol.Stats.Constraints, sol.Stats.Pivots,
+			time.Since(start).Round(time.Millisecond), sol.Throughput().RatString())
+	}
+	for _, nParts := range []int{3, 4, 5, 6} {
+		p := topology.Chain(nParts, steadystate.R(1, 2), steadystate.R(1, 1))
+		var order []steadystate.NodeID
+		for _, n := range p.Nodes() {
+			order = append(order, n.ID)
+		}
+		start := time.Now()
+		sol := must(steadystate.SolveReduce(p, order, order[0]))
+		fmt.Fprintf(out, "reduce-chain-%-9d %-8d %-8d %-8d %-10v %s\n", nParts,
+			sol.Stats.Vars, sol.Stats.Constraints, sol.Stats.Pivots,
+			time.Since(start).Round(time.Millisecond), sol.Throughput().RatString())
+	}
+}

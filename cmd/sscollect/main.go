@@ -1,0 +1,255 @@
+// Command sscollect solves a steady-state collective on a platform file
+// and prints the optimal throughput, the LP solution, and optionally the
+// periodic schedule, extracted reduction trees, and a protocol simulation.
+//
+// Usage:
+//
+//	sscollect -platform p.json -op scatter -source n0 -targets n1,n2
+//	sscollect -platform p.json -op gossip  -sources n0,n1 -targets n2,n3
+//	sscollect -platform p.json -op reduce  -order n0,n1,n2 -target n0 -trees -schedule
+//	sscollect -platform p.json -op prefix  -order n0,n1,n2 -simulate 100
+//
+// Omit -platform to use the paper's figure platforms: -platform fig2|fig6|fig9.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/big"
+	"os"
+	"strings"
+
+	steadystate "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "sscollect: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool; factored out of main for testability.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sscollect", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		platformFile = fs.String("platform", "", "platform JSON file, or fig2|fig6|fig9")
+		op           = fs.String("op", "scatter", "collective: scatter|gossip|reduce|prefix")
+		source       = fs.String("source", "", "scatter source node name")
+		sources      = fs.String("sources", "", "gossip source names, comma separated")
+		targets      = fs.String("targets", "", "scatter/gossip target names, comma separated")
+		order        = fs.String("order", "", "reduce/prefix participant names in rank order")
+		target       = fs.String("target", "", "reduce target node name")
+		size         = fs.String("size", "1", "uniform message size (reduce/prefix)")
+		showSched    = fs.Bool("schedule", false, "print the periodic schedule (Gantt)")
+		showTrees    = fs.Bool("trees", false, "print extracted reduction trees (reduce)")
+		simulate     = fs.Int("simulate", 0, "simulate the protocol for N periods")
+		latency      = fs.Bool("latency", false, "with -simulate: also report per-operation pipeline latency")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p, figSource, figTargets, figOrder, figTarget, err := loadPlatform(*platformFile)
+	if err != nil {
+		return err
+	}
+
+	var lookupErr error
+	lookup := func(name string) steadystate.NodeID {
+		id, ok := p.Lookup(name)
+		if !ok && lookupErr == nil {
+			lookupErr = fmt.Errorf("unknown node %q", name)
+		}
+		return id
+	}
+	lookupList := func(csv string) []steadystate.NodeID {
+		var out []steadystate.NodeID
+		for _, name := range strings.Split(csv, ",") {
+			name = strings.TrimSpace(name)
+			if name != "" {
+				out = append(out, lookup(name))
+			}
+		}
+		return out
+	}
+
+	switch *op {
+	case "scatter":
+		src := figSource
+		tgt := figTargets
+		if *source != "" {
+			src = lookup(*source)
+		}
+		if *targets != "" {
+			tgt = lookupList(*targets)
+		}
+		if lookupErr != nil {
+			return lookupErr
+		}
+		sol, err := steadystate.SolveScatter(p, src, tgt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, sol.String())
+		if *showSched {
+			sched, err := steadystate.ScatterSchedule(sol)
+			if err != nil {
+				return fmt.Errorf("schedule: %w", err)
+			}
+			fmt.Fprint(stdout, sched.Gantt())
+		}
+		if *simulate > 0 {
+			return simReport(stdout, steadystate.ScatterSimModel(sol), *simulate, sol.Throughput(), *latency)
+		}
+
+	case "gossip":
+		if *sources == "" || *targets == "" {
+			return fmt.Errorf("gossip needs -sources and -targets")
+		}
+		srcs := lookupList(*sources)
+		tgts := lookupList(*targets)
+		if lookupErr != nil {
+			return lookupErr
+		}
+		sol, err := steadystate.SolveGossip(p, srcs, tgts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, sol.String())
+		if *showSched {
+			sched, err := steadystate.GossipSchedule(sol)
+			if err != nil {
+				return fmt.Errorf("schedule: %w", err)
+			}
+			fmt.Fprint(stdout, sched.Gantt())
+		}
+		if *simulate > 0 {
+			return simReport(stdout, steadystate.GossipSimModel(sol), *simulate, sol.Throughput(), *latency)
+		}
+
+	case "reduce":
+		ord := figOrder
+		tgt := figTarget
+		if *order != "" {
+			ord = lookupList(*order)
+		}
+		if *target != "" {
+			tgt = lookup(*target)
+		}
+		if lookupErr != nil {
+			return lookupErr
+		}
+		pr, err := steadystate.NewReduceProblem(p, ord, tgt)
+		if err != nil {
+			return err
+		}
+		sz, err := steadystate.ParseRat(*size)
+		if err != nil {
+			return fmt.Errorf("bad -size: %w", err)
+		}
+		pr.SizeOf = func(steadystate.ReduceRange) steadystate.Rat { return sz }
+		sol, err := pr.Solve()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, sol.String())
+		app := sol.Integerize()
+		trees, err := app.ExtractTrees()
+		if err != nil {
+			return fmt.Errorf("trees: %w", err)
+		}
+		fmt.Fprintf(stdout, "%d reduction trees cover %s operations per period %s\n",
+			len(trees), app.Ops.String(), app.Period.String())
+		if *showTrees {
+			for _, tr := range trees {
+				fmt.Fprint(stdout, tr.String(pr))
+			}
+		}
+		if *showSched {
+			sched, err := steadystate.ReduceSchedule(app, trees, nil)
+			if err != nil {
+				return fmt.Errorf("schedule: %w", err)
+			}
+			fmt.Fprint(stdout, sched.Gantt())
+		}
+		if *simulate > 0 {
+			return simReport(stdout, steadystate.ReduceSimModel(app), *simulate, sol.Throughput(), *latency)
+		}
+
+	case "prefix":
+		ord := figOrder
+		if *order != "" {
+			ord = lookupList(*order)
+		}
+		if lookupErr != nil {
+			return lookupErr
+		}
+		sol, err := steadystate.SolvePrefix(p, ord)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, sol.String())
+
+	default:
+		return fmt.Errorf("unknown -op %q", *op)
+	}
+	return nil
+}
+
+// loadPlatform loads a JSON platform or one of the canned figure
+// platforms, returning figure defaults where applicable.
+func loadPlatform(spec string) (p *steadystate.Platform, src steadystate.NodeID,
+	targets []steadystate.NodeID, order []steadystate.NodeID, target steadystate.NodeID, err error) {
+	switch spec {
+	case "fig2":
+		p, src, targets = steadystate.PaperFig2()
+		return p, src, targets, nil, 0, nil
+	case "fig6":
+		p, order, target = steadystate.PaperFig6()
+		return p, 0, nil, order, target, nil
+	case "fig9":
+		p, order, target = steadystate.PaperFig9()
+		return p, 0, nil, order, target, nil
+	case "":
+		return nil, 0, nil, nil, 0, fmt.Errorf("need -platform (a JSON file or fig2|fig6|fig9)")
+	}
+	data, err := os.ReadFile(spec)
+	if err != nil {
+		return nil, 0, nil, nil, 0, fmt.Errorf("read %s: %w", spec, err)
+	}
+	p = steadystate.NewPlatform()
+	if err := json.Unmarshal(data, p); err != nil {
+		return nil, 0, nil, nil, 0, fmt.Errorf("parse %s: %w", spec, err)
+	}
+	return p, 0, nil, nil, 0, nil
+}
+
+func simReport(stdout io.Writer, m *steadystate.SimModel, periods int, tp steadystate.Rat, latency bool) error {
+	res, err := steadystate.Simulate(m, periods)
+	if err != nil {
+		return fmt.Errorf("simulate: %w", err)
+	}
+	k := new(big.Int).Mul(big.NewInt(int64(periods)), m.Period)
+	bound := new(big.Rat).Mul(tp, new(big.Rat).SetInt(k))
+	delivered := new(big.Rat).SetInt(res.MinDelivered())
+	ratio := new(big.Rat)
+	if bound.Sign() > 0 {
+		ratio.Quo(delivered, bound)
+	}
+	f, _ := ratio.Float64()
+	fmt.Fprintf(stdout, "simulated %d periods (K = %s time units): delivered %s ops, bound %s, ratio %.4f (init ends period %d)\n",
+		periods, k.String(), res.MinDelivered().String(), bound.RatString(), f, res.FirstFullPeriod)
+	if latency {
+		lat, err := steadystate.SimulateLatency(m, periods)
+		if err != nil {
+			return fmt.Errorf("latency simulation: %w", err)
+		}
+		fmt.Fprintf(stdout, "pipeline latency: min %d, mean %.2f, max %d periods\n",
+			lat.MinLatency, lat.MeanLatency(), lat.MaxLatency)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	steadystate "repro"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, errOut.String())
+	}
+	return out.String()
+}
+
+func writeTriangle(t *testing.T) string {
+	t.Helper()
+	p := steadystate.NewPlatform()
+	a := p.AddNode("a", steadystate.R(1, 1))
+	b := p.AddNode("b", steadystate.R(1, 1))
+	c := p.AddNode("c", steadystate.R(1, 1))
+	p.AddLink(a, b, steadystate.R(1, 1))
+	p.AddLink(b, c, steadystate.R(1, 1))
+	p.AddLink(a, c, steadystate.R(1, 1))
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tri.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestScatterOnFig2(t *testing.T) {
+	out := runOK(t, "-platform", "fig2", "-op", "scatter", "-schedule", "-simulate", "20")
+	for _, want := range []string{"TP = 1/2", "slot boundaries:", "simulated 20 periods"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReduceOnFig6(t *testing.T) {
+	out := runOK(t, "-platform", "fig6", "-op", "reduce", "-trees", "-schedule", "-simulate", "20")
+	for _, want := range []string{"reduce throughput TP = 1", "reduction tree", "simulated 20 periods"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLatencyFlag(t *testing.T) {
+	out := runOK(t, "-platform", "fig2", "-op", "scatter", "-simulate", "30", "-latency")
+	if !strings.Contains(out, "pipeline latency: min") {
+		t.Errorf("missing latency report:\n%s", out)
+	}
+}
+
+func TestPrefixOnFig6(t *testing.T) {
+	out := runOK(t, "-platform", "fig6", "-op", "prefix")
+	if !strings.Contains(out, "prefix throughput") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestScatterOnFile(t *testing.T) {
+	path := writeTriangle(t)
+	out := runOK(t, "-platform", path, "-op", "scatter", "-source", "a", "-targets", "b,c")
+	if !strings.Contains(out, "scatter throughput") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestGossipOnFile(t *testing.T) {
+	path := writeTriangle(t)
+	out := runOK(t, "-platform", path, "-op", "gossip", "-sources", "a,b", "-targets", "b,c", "-schedule", "-simulate", "10")
+	if !strings.Contains(out, "gossip throughput") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestReduceCustomSizeOnFile(t *testing.T) {
+	path := writeTriangle(t)
+	out := runOK(t, "-platform", path, "-op", "reduce", "-order", "a,b,c", "-target", "a", "-size", "2")
+	if !strings.Contains(out, "reduce throughput") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	path := writeTriangle(t)
+	cases := [][]string{
+		{},                              // missing platform
+		{"-platform", "nope.json"},      // unreadable file
+		{"-platform", path, "-op", "x"}, // unknown op
+		{"-platform", path, "-op", "scatter", "-source", "zzz", "-targets", "b"},              // unknown node
+		{"-platform", path, "-op", "gossip"},                                                  // missing endpoints
+		{"-platform", path, "-op", "reduce", "-order", "a,b", "-target", "a", "-size", "bad"}, // bad size
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if err := run(args, &out, &errOut); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestLoadPlatformBadJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, _, err := loadPlatform(path); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}

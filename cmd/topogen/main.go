@@ -1,0 +1,116 @@
+// Command topogen generates platform description files (JSON) for the
+// steady-state collective solvers: regular families, random graphs, the
+// Tiers-like hierarchical topology used by the paper's experiments, and
+// the paper's own figure platforms.
+//
+// Usage:
+//
+//	topogen -kind tiers -seed 42 -out platform.json
+//	topogen -kind star -n 8
+//	topogen -kind fig9 -dot
+//
+// Kinds: star, chain, ring, grid, tree, connected, tiers, fig2, fig6, fig9.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	steadystate "repro"
+	"repro/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool; factored out of main for testability.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		kind  = fs.String("kind", "tiers", "topology kind: star|chain|ring|grid|tree|connected|tiers|fig2|fig6|fig9")
+		n     = fs.Int("n", 8, "node count (star/chain/ring/tree/connected)")
+		rows  = fs.Int("rows", 3, "grid rows")
+		cols  = fs.Int("cols", 3, "grid cols")
+		seed  = fs.Int64("seed", 1, "random seed")
+		extra = fs.Float64("extra", 0.5, "extra edges per node (connected)")
+		cost  = fs.String("cost", "1", "uniform link cost (regular families)")
+		speed = fs.String("speed", "1", "uniform node speed (regular families)")
+		out   = fs.String("out", "", "output file (default stdout)")
+		dot   = fs.Bool("dot", false, "emit Graphviz DOT instead of JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	c, err := steadystate.ParseRat(*cost)
+	if err != nil {
+		return fmt.Errorf("bad -cost: %w", err)
+	}
+	s, err := steadystate.ParseRat(*speed)
+	if err != nil {
+		return fmt.Errorf("bad -speed: %w", err)
+	}
+
+	var p *steadystate.Platform
+	// The paper's figure platforms are intentionally one-directional
+	// (scatter-only edges), which the mutual-connectivity check rejects.
+	validate := true
+	switch *kind {
+	case "star":
+		p = steadystate.Star(*n, c, s)
+	case "chain":
+		p = steadystate.Chain(*n, c, s)
+	case "ring":
+		p = steadystate.Ring(*n, c, s)
+	case "grid":
+		p = steadystate.Grid2D(*rows, *cols, c, s)
+	case "tree":
+		p = topology.RandomTree(*n, topology.DefaultRandomConfig(*seed))
+	case "connected":
+		p = topology.RandomConnected(*n, *extra, topology.DefaultRandomConfig(*seed))
+	case "tiers":
+		p = steadystate.Tiers(steadystate.DefaultTiersConfig(*seed))
+	case "fig2":
+		p, _, _ = steadystate.PaperFig2()
+		validate = false
+	case "fig6":
+		p, _, _ = steadystate.PaperFig6()
+	case "fig9":
+		p, _, _ = steadystate.PaperFig9()
+	default:
+		return fmt.Errorf("unknown -kind %q", *kind)
+	}
+	if validate {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("generated platform invalid: %w", err)
+		}
+	}
+
+	var data []byte
+	if *dot {
+		data = []byte(p.DOT())
+	} else {
+		data, err = json.Marshal(p)
+		if err != nil {
+			return fmt.Errorf("marshal: %w", err)
+		}
+		data = append(data, '\n')
+	}
+	if *out == "" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", *out, err)
+	}
+	fmt.Fprintf(stderr, "wrote %s (%d nodes, %d edges)\n", *out, p.NumNodes(), p.NumEdges())
+	return nil
+}

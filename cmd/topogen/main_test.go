@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	steadystate "repro"
+)
+
+func runOK(t *testing.T, args ...string) (string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String(), errOut.String()
+}
+
+func TestGenerateJSONToStdout(t *testing.T) {
+	out, _ := runOK(t, "-kind", "star", "-n", "3")
+	var p steadystate.Platform
+	if err := json.Unmarshal([]byte(out), &p); err != nil {
+		t.Fatalf("output is not a platform: %v", err)
+	}
+	if p.NumNodes() != 4 {
+		t.Errorf("nodes = %d, want 4", p.NumNodes())
+	}
+}
+
+func TestGenerateToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.json")
+	_, errOut := runOK(t, "-kind", "tiers", "-seed", "3", "-out", path)
+	if !strings.Contains(errOut, "wrote") {
+		t.Errorf("missing confirmation: %q", errOut)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p steadystate.Platform
+	if err := json.Unmarshal(data, &p); err != nil {
+		t.Fatalf("file is not a platform: %v", err)
+	}
+}
+
+func TestGenerateDOT(t *testing.T) {
+	out, _ := runOK(t, "-kind", "ring", "-n", "4", "-dot")
+	if !strings.Contains(out, "digraph") {
+		t.Errorf("not DOT output: %q", out)
+	}
+}
+
+func TestAllKinds(t *testing.T) {
+	for _, kind := range []string{"star", "chain", "ring", "grid", "tree", "connected", "tiers", "fig2", "fig6", "fig9"} {
+		var out, errOut bytes.Buffer
+		if err := run([]string{"-kind", kind, "-n", "4"}, &out, &errOut); err != nil {
+			t.Errorf("kind %s: %v", kind, err)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "nope"},
+		{"-cost", "garbage"},
+		{"-speed", "garbage"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if err := run(args, &out, &errOut); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

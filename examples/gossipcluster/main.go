@@ -1,0 +1,78 @@
+// Personalized all-to-all (gossip) between two clusters: the data-parallel
+// redistribution pattern the paper's introduction motivates — e.g. a 2-D
+// block-cyclic matrix moving between two groups of processors.
+//
+// The two clusters are joined by three parallel "bridge" links. A fixed
+// single-route plan funnels all cross-cluster traffic through whichever
+// bridge the routing table picked; the steady-state LP spreads the load
+// over all bridges and multiplies the throughput.
+//
+// Run with: go run ./examples/gossipcluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	steadystate "repro"
+)
+
+// buildPlatform makes two 3-node cliques (intra-cluster links cost 1/10)
+// joined by bridges a_i — b_i (cost 1/2) for the given bridge indices.
+func buildPlatform(bridges []int) (*steadystate.Platform, []steadystate.NodeID) {
+	p := steadystate.NewPlatform()
+	var as, bs []steadystate.NodeID
+	for i := 0; i < 3; i++ {
+		as = append(as, p.AddNode(fmt.Sprintf("a%d", i), steadystate.R(1, 1)))
+		bs = append(bs, p.AddNode(fmt.Sprintf("b%d", i), steadystate.R(1, 1)))
+	}
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			p.AddLink(as[i], as[j], steadystate.R(1, 10))
+			p.AddLink(bs[i], bs[j], steadystate.R(1, 10))
+		}
+	}
+	for _, i := range bridges {
+		p.AddLink(as[i], bs[i], steadystate.R(1, 2))
+	}
+	return p, append(as, bs...)
+}
+
+func solveTP(bridges []int) steadystate.Rat {
+	p, all := buildPlatform(bridges)
+	sol, err := steadystate.SolveGossip(p, all, all)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sol.Verify(); err != nil {
+		log.Fatalf("verification failed: %v", err)
+	}
+	return sol.Throughput()
+}
+
+func main() {
+	p, all := buildPlatform([]int{0, 1, 2})
+	sol, err := steadystate.SolveGossip(p, all, all)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bidirectional 6-node gossip, 3 bridges: TP = %s operations per time unit\n",
+		sol.Throughput().RatString())
+	fmt.Printf("(each operation moves %d distinct blocks, 18 of them cross-cluster)\n\n", 6*5)
+
+	sched, err := steadystate.GossipSchedule(sol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("schedule: %d one-port-safe slots per period of %s time units\n\n",
+		len(sched.Slots), sched.Period.RatString())
+
+	// The same clusters with a single bridge: every cross-cluster block
+	// serializes through one pair of ports.
+	oneTP := solveTP([]int{0})
+	speedup, _ := new(big.Rat).Quo(sol.Throughput(), oneTP).Float64()
+	fmt.Printf("with a single bridge: TP = %s\n", oneTP.RatString())
+	fmt.Printf("spreading over all three bridges is %.2fx faster — the gain a\n"+
+		"fixed-route all-to-all leaves on the table\n", speedup)
+}

@@ -1,0 +1,88 @@
+// Reduce on the paper's Tiers platform: the headline experiment of the
+// paper (Figures 9–12). Solves the steady-state reduce LP on the 14-node
+// hierarchical platform, extracts the certificate reduction trees,
+// compares against fixed-tree baselines, truncates to a practical period,
+// and simulates the protocol.
+//
+// Run with: go run ./examples/reducetiers
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	steadystate "repro"
+)
+
+func main() {
+	p, order, target := steadystate.PaperFig9()
+	fmt.Printf("platform: %d nodes (%d routers), %d links; target %s\n",
+		p.NumNodes(), p.NumNodes()-len(order), p.NumEdges()/2, p.Node(target).Name)
+	fmt.Print("participants (reduction order): ")
+	for i, id := range order {
+		if i > 0 {
+			fmt.Print(" ⊕ ")
+		}
+		fmt.Print(p.Node(id).Name)
+	}
+	fmt.Println()
+
+	pr, err := steadystate.NewReduceProblem(p, order, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	size := steadystate.PaperFig9MessageSize()
+	pr.SizeOf = func(steadystate.ReduceRange) steadystate.Rat { return size }
+
+	sol, err := pr.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noptimal steady-state throughput: TP = %s reduces per time unit\n",
+		sol.Throughput().RatString())
+	fmt.Printf("(the paper reports 2/9 on its original random bandwidths)\n")
+
+	// Fixed single-tree baselines for contrast.
+	flat, err := steadystate.FlatReduceTree(pr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bin, err := steadystate.BinaryReduceTree(pr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbaselines: flat tree %s, binary tree %s — the LP mixes trees and wins\n",
+		flat.Throughput.RatString(), bin.Throughput.RatString())
+
+	// Tree extraction (Theorem 1): a compact certificate of the schedule.
+	app := sol.Integerize()
+	trees, err := app.ExtractTrees()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d reduction trees cover all %s operations of the period %s:\n",
+		len(trees), app.Ops.String(), app.Period.String())
+	for i, tr := range trees {
+		fmt.Printf("--- tree %d (weight %s) ---\n%s", i+1, tr.Weight.String(), tr.String(pr))
+	}
+
+	// A deployment would use a small fixed period (Section 4.6).
+	plan, err := steadystate.ApproximateFixedPeriod(app, trees, big.NewInt(100))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fixed period 100: throughput %s (loss %s, bounded by %d/100)\n",
+		plan.Throughput.RatString(), plan.Loss.RatString(), len(trees))
+
+	// Simulate the pipelined protocol.
+	res, err := steadystate.Simulate(steadystate.ReduceSimModel(app), 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := new(big.Int).Mul(big.NewInt(500), app.Period)
+	bound := new(big.Rat).Mul(sol.Throughput(), new(big.Rat).SetInt(k))
+	ratio, _ := new(big.Rat).Quo(new(big.Rat).SetInt(res.MinDelivered()), bound).Float64()
+	fmt.Printf("\nsimulated 500 periods: %s results delivered (%.2f%% of the TP·K bound)\n",
+		res.MinDelivered(), 100*ratio)
+}

@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/rat"
+)
+
+// ShortestPath returns the minimum-total-cost directed path from src to
+// dst (as node IDs, src first) and its cost, using Dijkstra's algorithm
+// over the exact rational edge costs. ok is false when dst is unreachable.
+func (p *Platform) ShortestPath(src, dst NodeID) (path []NodeID, cost rat.Rat, ok bool) {
+	p.checkNode(src)
+	p.checkNode(dst)
+	dist := make([]rat.Rat, len(p.nodes))
+	prev := make([]NodeID, len(p.nodes))
+	for i := range prev {
+		prev[i] = -1
+	}
+	dist[src] = rat.Zero()
+
+	pq := &ratHeap{}
+	heap.Init(pq)
+	heap.Push(pq, ratItem{node: src, dist: rat.Zero()})
+	done := make([]bool, len(p.nodes))
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(ratItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		if it.node == dst {
+			break
+		}
+		for _, idx := range p.out[it.node] {
+			e := p.edges[idx]
+			if done[e.To] {
+				continue
+			}
+			nd := rat.Add(it.dist, e.Cost)
+			if dist[e.To] == nil || nd.Cmp(dist[e.To]) < 0 {
+				dist[e.To] = nd
+				prev[e.To] = it.node
+				heap.Push(pq, ratItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	if src != dst && prev[dst] == -1 {
+		return nil, nil, false
+	}
+	for at := dst; at != -1; at = prev[at] {
+		path = append([]NodeID{at}, path...)
+		if at == src {
+			break
+		}
+	}
+	if path[0] != src {
+		return nil, nil, false
+	}
+	return path, rat.Copy(dist[dst]), true
+}
+
+// MustShortestPath is ShortestPath that panics when dst is unreachable.
+func (p *Platform) MustShortestPath(src, dst NodeID) ([]NodeID, rat.Rat) {
+	path, cost, ok := p.ShortestPath(src, dst)
+	if !ok {
+		panic(fmt.Sprintf("graph: %s cannot reach %s", p.nodes[src].Name, p.nodes[dst].Name))
+	}
+	return path, cost
+}
+
+type ratItem struct {
+	node NodeID
+	dist rat.Rat
+}
+
+type ratHeap []ratItem
+
+func (h ratHeap) Len() int           { return len(h) }
+func (h ratHeap) Less(i, j int) bool { return h[i].dist.Cmp(h[j].dist) < 0 }
+func (h ratHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *ratHeap) Push(x any)        { *h = append(*h, x.(ratItem)) }
+func (h *ratHeap) Pop() (out any) {
+	old := *h
+	n := len(old)
+	out = old[n-1]
+	*h = old[:n-1]
+	return out
+}

@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/rat"
+)
+
+func TestShortestPathDirect(t *testing.T) {
+	p := New()
+	a := p.AddNode("a", rat.One())
+	b := p.AddNode("b", rat.One())
+	p.AddEdge(a, b, rat.New(3, 2))
+	path, cost, ok := p.ShortestPath(a, b)
+	if !ok || len(path) != 2 || !rat.Eq(cost, rat.New(3, 2)) {
+		t.Errorf("path=%v cost=%v ok=%v", path, cost, ok)
+	}
+}
+
+func TestShortestPathPrefersCheaperRoute(t *testing.T) {
+	// a→b→c costs 2, a→c direct costs 5.
+	p := New()
+	a := p.AddNode("a", rat.One())
+	b := p.AddNode("b", rat.One())
+	c := p.AddNode("c", rat.One())
+	p.AddEdge(a, b, rat.One())
+	p.AddEdge(b, c, rat.One())
+	p.AddEdge(a, c, rat.Int(5))
+	path, cost, ok := p.ShortestPath(a, c)
+	if !ok {
+		t.Fatal("no path")
+	}
+	if len(path) != 3 || path[1] != b {
+		t.Errorf("path = %v, want via b", path)
+	}
+	if !rat.Eq(cost, rat.Int(2)) {
+		t.Errorf("cost = %s, want 2", cost.RatString())
+	}
+}
+
+func TestShortestPathSelf(t *testing.T) {
+	p := New()
+	a := p.AddNode("a", rat.One())
+	path, cost, ok := p.ShortestPath(a, a)
+	if !ok || len(path) != 1 || cost.Sign() != 0 {
+		t.Errorf("self path: %v %v %v", path, cost, ok)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	p := New()
+	a := p.AddNode("a", rat.One())
+	b := p.AddNode("b", rat.One())
+	p.AddEdge(b, a, rat.One()) // only the reverse direction exists
+	if _, _, ok := p.ShortestPath(a, b); ok {
+		t.Error("unreachable path reported ok")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustShortestPath did not panic")
+		}
+	}()
+	p.MustShortestPath(a, b)
+}
+
+func TestShortestPathRespectsDirection(t *testing.T) {
+	p := New()
+	a := p.AddNode("a", rat.One())
+	b := p.AddNode("b", rat.One())
+	p.AddEdge(a, b, rat.Int(10))
+	p.AddEdge(b, a, rat.One())
+	_, cost, ok := p.ShortestPath(a, b)
+	if !ok || !rat.Eq(cost, rat.Int(10)) {
+		t.Errorf("a→b cost = %v (ok=%v), want 10", cost, ok)
+	}
+	_, cost, ok = p.ShortestPath(b, a)
+	if !ok || !rat.Eq(cost, rat.One()) {
+		t.Errorf("b→a cost = %v (ok=%v), want 1", cost, ok)
+	}
+}

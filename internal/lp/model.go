@@ -1,0 +1,310 @@
+// Package lp implements an exact linear-programming solver over the
+// rational numbers.
+//
+// The steady-state framework of Legrand/Marchal/Robert expresses the optimal
+// throughput of a pipelined collective as the optimum of a linear program
+// "solved in rational numbers" (the paper uses lpsolve or Maple). The
+// periodic-schedule construction then multiplies the solution by the least
+// common multiple of its denominators, so the solver must be exact: a
+// floating-point optimum cannot be turned into an integer period. Since the
+// module is stdlib-only (no cgo wrapping of GLPK/lp_solve), this package
+// provides a self-contained primal simplex over big.Int/big.Rat:
+//
+//   - Model: named variables (all ≥ 0, optional upper bounds), linear
+//     constraints with ≤ / = / ≥ senses, and a linear objective.
+//   - Solve: two-phase primal simplex. Tableau rows are stored as integer
+//     vectors with a per-row positive denominator, updated fraction-free and
+//     re-normalized by their content gcd, which keeps entries small and lets
+//     rows untouched by a pivot be skipped entirely. Pivoting uses Dantzig's
+//     rule and falls back to Bland's rule (which provably terminates) when
+//     the iteration count suggests cycling.
+//   - Verify: independent feasibility check of a solution against the model,
+//     used by tests and callers to guard against solver defects.
+package lp
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"repro/internal/rat"
+)
+
+// Sense is the comparison sense of a linear constraint.
+type Sense int
+
+const (
+	// Leq constrains expr ≤ rhs.
+	Leq Sense = iota
+	// Eq constrains expr = rhs.
+	Eq
+	// Geq constrains expr ≥ rhs.
+	Geq
+)
+
+// String returns the conventional symbol for the sense.
+func (s Sense) String() string {
+	switch s {
+	case Leq:
+		return "<="
+	case Eq:
+		return "="
+	case Geq:
+		return ">="
+	}
+	return fmt.Sprintf("Sense(%d)", int(s))
+}
+
+// Var identifies a variable within a Model.
+type Var int
+
+// Term is a coefficient applied to a variable in a linear expression.
+type Term struct {
+	Var   Var
+	Coeff rat.Rat
+}
+
+// Expr is a linear expression: a sum of terms.
+type Expr []Term
+
+// NewExpr returns an empty expression.
+func NewExpr() Expr { return nil }
+
+// Plus appends coeff·v to the expression and returns the extended
+// expression (builder style).
+func (e Expr) Plus(coeff rat.Rat, v Var) Expr {
+	return append(e, Term{Var: v, Coeff: rat.Copy(coeff)})
+}
+
+// Plus1 appends 1·v to the expression.
+func (e Expr) Plus1(v Var) Expr { return e.Plus(rat.One(), v) }
+
+// Minus appends -coeff·v to the expression.
+func (e Expr) Minus(coeff rat.Rat, v Var) Expr {
+	return append(e, Term{Var: v, Coeff: rat.Neg(coeff)})
+}
+
+// Constraint is a linear constraint expr (sense) rhs.
+type Constraint struct {
+	Name  string
+	Expr  Expr
+	Sense Sense
+	RHS   rat.Rat
+}
+
+// Model is a linear program: maximize (or minimize) a linear objective over
+// nonnegative variables subject to linear constraints. Variables are always
+// ≥ 0; optional upper bounds are recorded and lowered to constraints at
+// solve time.
+type Model struct {
+	maximize bool
+	names    []string
+	index    map[string]Var
+	upper    []rat.Rat // nil entry = unbounded above
+	obj      map[Var]rat.Rat
+	cons     []Constraint
+}
+
+// NewMaximize returns an empty model whose objective will be maximized.
+func NewMaximize() *Model { return newModel(true) }
+
+// NewMinimize returns an empty model whose objective will be minimized.
+func NewMinimize() *Model { return newModel(false) }
+
+func newModel(maximize bool) *Model {
+	return &Model{
+		maximize: maximize,
+		index:    make(map[string]Var),
+		obj:      make(map[Var]rat.Rat),
+	}
+}
+
+// Maximizing reports whether the model's objective is maximized.
+func (m *Model) Maximizing() bool { return m.maximize }
+
+// NumVars returns the number of variables declared so far.
+func (m *Model) NumVars() int { return len(m.names) }
+
+// NumConstraints returns the number of constraints added so far.
+func (m *Model) NumConstraints() int { return len(m.cons) }
+
+// Var declares a new nonnegative variable with the given name and returns
+// its handle. Names must be unique; Var panics on a duplicate because a
+// duplicate always indicates a bug in the model builder.
+func (m *Model) Var(name string) Var {
+	if _, dup := m.index[name]; dup {
+		panic(fmt.Sprintf("lp: duplicate variable %q", name))
+	}
+	v := Var(len(m.names))
+	m.names = append(m.names, name)
+	m.upper = append(m.upper, nil)
+	m.index[name] = v
+	return v
+}
+
+// LookupVar returns the variable with the given name, if any.
+func (m *Model) LookupVar(name string) (Var, bool) {
+	v, ok := m.index[name]
+	return v, ok
+}
+
+// VarName returns the name of v.
+func (m *Model) VarName(v Var) string { return m.names[v] }
+
+// SetUpper bounds v ≤ u (in addition to the implicit v ≥ 0). A nil u
+// removes the bound.
+func (m *Model) SetUpper(v Var, u rat.Rat) {
+	if u == nil {
+		m.upper[v] = nil
+		return
+	}
+	m.upper[v] = rat.Copy(u)
+}
+
+// SetObjective sets the objective coefficient of v (replacing any previous
+// coefficient).
+func (m *Model) SetObjective(v Var, coeff rat.Rat) {
+	m.obj[v] = rat.Copy(coeff)
+}
+
+// AddConstraint appends the constraint expr (sense) rhs. Terms mentioning
+// the same variable more than once are summed. The name is used only in
+// diagnostics.
+func (m *Model) AddConstraint(name string, expr Expr, sense Sense, rhs rat.Rat) {
+	for _, t := range expr {
+		if int(t.Var) < 0 || int(t.Var) >= len(m.names) {
+			panic(fmt.Sprintf("lp: constraint %q references unknown variable %d", name, t.Var))
+		}
+	}
+	m.cons = append(m.cons, Constraint{
+		Name:  name,
+		Expr:  append(Expr(nil), expr...),
+		Sense: sense,
+		RHS:   rat.Copy(rhs),
+	})
+}
+
+// Constraints returns the model's constraints (shared slice; callers must
+// not mutate).
+func (m *Model) Constraints() []Constraint { return m.cons }
+
+// Solution is a feasible (and, on success, optimal) assignment of rational
+// values to the model's variables.
+type Solution struct {
+	model     *Model
+	Objective rat.Rat
+	values    []rat.Rat
+	// Iterations is the total number of simplex pivots performed.
+	Iterations int
+}
+
+// Value returns the value assigned to v.
+func (s *Solution) Value(v Var) rat.Rat { return s.values[v] }
+
+// ValueByName returns the value of the named variable, or nil if the name
+// is unknown.
+func (s *Solution) ValueByName(name string) rat.Rat {
+	v, ok := s.model.index[name]
+	if !ok {
+		return nil
+	}
+	return s.values[v]
+}
+
+// Values returns a copy of all variable values, indexed by Var.
+func (s *Solution) Values() []rat.Rat { return rat.Clone(s.values) }
+
+// NonZero returns the names and values of all nonzero variables, sorted by
+// name — a compact, deterministic rendering of the solution used in
+// reports and golden tests.
+func (s *Solution) NonZero() []struct {
+	Name  string
+	Value rat.Rat
+} {
+	var out []struct {
+		Name  string
+		Value rat.Rat
+	}
+	for v, val := range s.values {
+		if !rat.IsZero(val) {
+			out = append(out, struct {
+				Name  string
+				Value rat.Rat
+			}{s.model.names[v], val})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// String renders the solution objective and nonzero variables.
+func (s *Solution) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "objective = %s\n", s.Objective.RatString())
+	for _, nv := range s.NonZero() {
+		fmt.Fprintf(&b, "  %s = %s\n", nv.Name, nv.Value.RatString())
+	}
+	return b.String()
+}
+
+// Infeasible and Unbounded are the two failure modes of Solve.
+var (
+	// ErrInfeasible is returned when no assignment satisfies the
+	// constraints.
+	ErrInfeasible = fmt.Errorf("lp: infeasible")
+	// ErrUnbounded is returned when the objective is unbounded over the
+	// feasible region.
+	ErrUnbounded = fmt.Errorf("lp: unbounded")
+)
+
+// Verify checks that values satisfies every constraint and bound of the
+// model exactly, returning a descriptive error for the first violation. It
+// is independent of the solver and is used to harden tests and callers.
+func (m *Model) Verify(values []rat.Rat) error {
+	if len(values) != len(m.names) {
+		return fmt.Errorf("lp: verify: got %d values for %d variables", len(values), len(m.names))
+	}
+	for v, val := range values {
+		if val.Sign() < 0 {
+			return fmt.Errorf("lp: verify: %s = %s < 0", m.names[v], val.RatString())
+		}
+		if u := m.upper[v]; u != nil && val.Cmp(u) > 0 {
+			return fmt.Errorf("lp: verify: %s = %s > upper bound %s", m.names[v], val.RatString(), u.RatString())
+		}
+	}
+	for _, c := range m.cons {
+		lhs := rat.Zero()
+		for _, t := range c.Expr {
+			lhs.Add(lhs, rat.Mul(t.Coeff, values[t.Var]))
+		}
+		ok := false
+		switch c.Sense {
+		case Leq:
+			ok = lhs.Cmp(c.RHS) <= 0
+		case Eq:
+			ok = lhs.Cmp(c.RHS) == 0
+		case Geq:
+			ok = lhs.Cmp(c.RHS) >= 0
+		}
+		if !ok {
+			return fmt.Errorf("lp: verify: constraint %q violated: %s %s %s",
+				c.Name, lhs.RatString(), c.Sense, c.RHS.RatString())
+		}
+	}
+	return nil
+}
+
+// EvalObjective computes the objective value of an assignment.
+func (m *Model) EvalObjective(values []rat.Rat) rat.Rat {
+	z := rat.Zero()
+	for v, coeff := range m.obj {
+		z.Add(z, rat.Mul(coeff, values[v]))
+	}
+	return z
+}
+
+// ratFromBigInts builds the rational n/d.
+func ratFromBigInts(n, d *big.Int) rat.Rat {
+	return new(big.Rat).SetFrac(new(big.Int).Set(n), new(big.Int).Set(d))
+}

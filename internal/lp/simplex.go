@@ -1,0 +1,419 @@
+package lp
+
+import (
+	"math/big"
+
+	"repro/internal/rat"
+)
+
+// row is one tableau row: rational entries n[j]/d with a shared positive
+// denominator d. Keeping rows as integer vectors makes pivots pure big.Int
+// arithmetic (no per-operation gcd as big.Rat would do) and lets a pivot
+// skip every row whose pivot-column entry is zero.
+type row struct {
+	n []*big.Int
+	d *big.Int
+}
+
+func newRow(cols int) *row {
+	r := &row{n: make([]*big.Int, cols), d: big.NewInt(1)}
+	for j := range r.n {
+		r.n[j] = new(big.Int)
+	}
+	return r
+}
+
+// normalize divides the row through by the gcd of its denominator and all
+// entries, keeping numbers small across pivots.
+func (r *row) normalize() {
+	g := new(big.Int).Set(r.d)
+	for _, v := range r.n {
+		if v.Sign() == 0 {
+			continue
+		}
+		g.GCD(nil, nil, g, new(big.Int).Abs(v))
+		if g.Cmp(bigOne) == 0 {
+			return
+		}
+	}
+	r.d.Quo(r.d, g)
+	for _, v := range r.n {
+		if v.Sign() != 0 {
+			v.Quo(v, g)
+		}
+	}
+}
+
+var bigOne = big.NewInt(1)
+
+// rational returns entry j as an exact rational.
+func (r *row) rational(j int) rat.Rat { return ratFromBigInts(r.n[j], r.d) }
+
+// tableau is a simplex tableau in solved (basic) form. Column layout:
+// structural variables, then slacks, then artificials, then the
+// right-hand side as the final column.
+type tableau struct {
+	rows  []*row
+	obj   *row  // reduced-cost row: obj.n[j]/obj.d = cB·B⁻¹Aj − cj; rhs = objective value
+	basis []int // basis[i] = column basic in row i
+	dead  []bool
+	rhs   int // index of the rhs column
+	// iteration bookkeeping
+	pivots     int
+	blandAfter int
+	bland      bool
+}
+
+// pivot performs a Gauss-Jordan pivot at (pr, pc). The entry must be
+// strictly positive (as a rational).
+func (t *tableau) pivot(pr, pc int) {
+	prow := t.rows[pr]
+	p := prow.n[pc] // > 0
+	for i, ri := range t.rows {
+		if i == pr {
+			continue
+		}
+		t.eliminate(ri, prow, p, pc)
+	}
+	t.eliminate(t.obj, prow, p, pc)
+	// Row pr itself: divide by the pivot, i.e. its denominator becomes the
+	// old pivot numerator (entries unchanged).
+	prow.d = new(big.Int).Set(p)
+	prow.normalize()
+	t.basis[pr] = pc
+	t.pivots++
+}
+
+// eliminate applies ri ← ri − (ri[pc]/p)·prow in row-integer form:
+// n'[j] = n[j]·p − n[pc]·prow.n[j], d' = d·p, then renormalizes.
+func (t *tableau) eliminate(ri, prow *row, p *big.Int, pc int) {
+	f := ri.n[pc]
+	if f.Sign() == 0 {
+		return // row untouched by this pivot
+	}
+	f = new(big.Int).Set(f) // ri.n[pc] is overwritten below
+	var tmp big.Int
+	for j, nj := range ri.n {
+		pj := prow.n[j]
+		switch {
+		case pj.Sign() == 0:
+			if nj.Sign() != 0 {
+				nj.Mul(nj, p)
+			}
+		case nj.Sign() == 0:
+			nj.Mul(f, pj)
+			nj.Neg(nj)
+		default:
+			nj.Mul(nj, p)
+			tmp.Mul(f, pj)
+			nj.Sub(nj, &tmp)
+		}
+	}
+	ri.d = new(big.Int).Mul(ri.d, p)
+	ri.normalize()
+}
+
+// entering picks the entering column, or -1 if the tableau is optimal.
+// Dantzig's rule (most negative reduced cost) normally; Bland's rule
+// (lowest index with negative reduced cost) once cycling is suspected.
+func (t *tableau) entering() int {
+	if !t.bland && t.pivots > t.blandAfter {
+		t.bland = true
+	}
+	best := -1
+	for j := 0; j < t.rhs; j++ {
+		if t.dead[j] || t.obj.n[j].Sign() >= 0 {
+			continue
+		}
+		if t.bland {
+			return j
+		}
+		// All obj entries share one denominator, so numerators compare.
+		if best == -1 || t.obj.n[j].Cmp(t.obj.n[best]) < 0 {
+			best = j
+		}
+	}
+	return best
+}
+
+// leaving runs the ratio test for entering column c: the feasible basis row
+// minimizing rhs_i / a_ic over rows with a_ic > 0. Returns -1 when the
+// column is unbounded. Ties break toward the smallest basic column index
+// (required by Bland's rule; harmless otherwise).
+func (t *tableau) leaving(c int) int {
+	best := -1
+	var bn, bd *big.Int // best ratio = bn/bd, bd > 0
+	for i, ri := range t.rows {
+		a := ri.n[c]
+		if a.Sign() <= 0 {
+			continue
+		}
+		b := ri.n[t.rhs]
+		if best == -1 {
+			best, bn, bd = i, b, a
+			continue
+		}
+		// compare b/a vs bn/bd  ⇔  b·bd vs bn·a (a, bd > 0)
+		l := new(big.Int).Mul(b, bd)
+		r := new(big.Int).Mul(bn, a)
+		switch l.Cmp(r) {
+		case -1:
+			best, bn, bd = i, b, a
+		case 0:
+			if t.basis[i] < t.basis[best] {
+				best, bn, bd = i, b, a
+			}
+		}
+	}
+	return best
+}
+
+// iterate pivots until optimality or unboundedness.
+func (t *tableau) iterate() error {
+	for {
+		c := t.entering()
+		if c < 0 {
+			return nil
+		}
+		r := t.leaving(c)
+		if r < 0 {
+			return ErrUnbounded
+		}
+		t.pivot(r, c)
+	}
+}
+
+// Solve optimizes the model and returns an optimal solution, or
+// ErrInfeasible / ErrUnbounded.
+func (m *Model) Solve() (*Solution, error) {
+	nStruct := len(m.names)
+
+	// Assemble the constraint rows: model constraints plus upper bounds.
+	type normRow struct {
+		coeff map[int]rat.Rat
+		sense Sense
+		rhs   rat.Rat
+	}
+	var rowsIn []normRow
+	for _, c := range m.cons {
+		coeff := make(map[int]rat.Rat)
+		for _, term := range c.Expr {
+			if prev, ok := coeff[int(term.Var)]; ok {
+				coeff[int(term.Var)] = rat.Add(prev, term.Coeff)
+			} else {
+				coeff[int(term.Var)] = rat.Copy(term.Coeff)
+			}
+		}
+		rowsIn = append(rowsIn, normRow{coeff, c.Sense, rat.Copy(c.RHS)})
+	}
+	for v, u := range m.upper {
+		if u == nil {
+			continue
+		}
+		rowsIn = append(rowsIn, normRow{map[int]rat.Rat{v: rat.One()}, Leq, rat.Copy(u)})
+	}
+
+	// Normalize to nonnegative right-hand sides.
+	for i := range rowsIn {
+		if rowsIn[i].rhs.Sign() < 0 {
+			for k, v := range rowsIn[i].coeff {
+				rowsIn[i].coeff[k] = rat.Neg(v)
+			}
+			rowsIn[i].rhs = rat.Neg(rowsIn[i].rhs)
+			switch rowsIn[i].sense {
+			case Leq:
+				rowsIn[i].sense = Geq
+			case Geq:
+				rowsIn[i].sense = Leq
+			}
+		}
+	}
+
+	// Column layout: structural | slacks | artificials | rhs.
+	nSlack := 0
+	nArt := 0
+	for _, r := range rowsIn {
+		if r.sense != Eq {
+			nSlack++
+		}
+		if r.sense != Leq {
+			nArt++
+		}
+	}
+	nCols := nStruct + nSlack + nArt
+	t := &tableau{
+		rhs:        nCols,
+		dead:       make([]bool, nCols),
+		blandAfter: 50 * (len(rowsIn) + nCols + 20),
+	}
+
+	slackAt := nStruct
+	artAt := nStruct + nSlack
+	artCols := make([]bool, nCols)
+	for _, rin := range rowsIn {
+		r := newRow(nCols + 1)
+		den := rat.DenominatorLCM(append(values(rin.coeff), rin.rhs)...)
+		for v, c := range rin.coeff {
+			r.n[v] = rat.ScaleToInt(c, den)
+		}
+		r.n[nCols] = rat.ScaleToInt(rin.rhs, den)
+		r.d = den
+		basic := -1
+		switch rin.sense {
+		case Leq:
+			r.n[slackAt] = new(big.Int).Set(den) // +1 slack
+			basic = slackAt
+			slackAt++
+		case Geq:
+			r.n[slackAt] = new(big.Int).Neg(den) // -1 surplus
+			slackAt++
+			r.n[artAt] = new(big.Int).Set(den) // +1 artificial
+			basic = artAt
+			artCols[artAt] = true
+			artAt++
+		case Eq:
+			r.n[artAt] = new(big.Int).Set(den)
+			basic = artAt
+			artCols[artAt] = true
+			artAt++
+		}
+		r.normalize()
+		t.rows = append(t.rows, r)
+		t.basis = append(t.basis, basic)
+	}
+
+	// Phase 1: minimize the sum of artificials, i.e. maximize −Σa. The
+	// reduced-cost row starts as +1 on artificial columns, then basic
+	// columns are eliminated (each artificial is basic in its row).
+	if nArt > 0 {
+		w := newRow(nCols + 1)
+		for j := 0; j < nCols; j++ {
+			if artCols[j] {
+				w.n[j].SetInt64(1)
+			}
+		}
+		t.obj = w
+		for i, b := range t.basis {
+			if artCols[b] {
+				// w ← w − (w[b]/1)·row_i normalized: w[b] is 1, row has
+				// t_i[b] = 1, so subtract the row in rational form.
+				t.eliminateRational(w, t.rows[i], b)
+			}
+		}
+		if err := t.iterate(); err != nil {
+			// Phase 1 objective is bounded (≥ −Σb); unbounded here means a
+			// solver bug, surface it loudly.
+			panic("lp: phase 1 unbounded: " + err.Error())
+		}
+		// Optimal phase-1 value is −(sum of artificials); feasible iff 0.
+		if t.obj.n[t.rhs].Sign() != 0 {
+			return nil, ErrInfeasible
+		}
+		// Drive remaining artificials out of the basis.
+		for i := 0; i < len(t.rows); i++ {
+			if !artCols[t.basis[i]] {
+				continue
+			}
+			piv := -1
+			for j := 0; j < nCols; j++ {
+				if !artCols[j] && t.rows[i].n[j].Sign() != 0 {
+					piv = j
+					break
+				}
+			}
+			if piv == -1 {
+				// Redundant row: all-zero over structural and slack
+				// columns (its rhs is 0 since phase 1 succeeded). Drop it.
+				t.rows = append(t.rows[:i], t.rows[i+1:]...)
+				t.basis = append(t.basis[:i], t.basis[i+1:]...)
+				i--
+				continue
+			}
+			if t.rows[i].n[piv].Sign() < 0 {
+				// Negate the row so the pivot entry is positive; the row's
+				// rhs is 0, so feasibility is unaffected.
+				for _, v := range t.rows[i].n {
+					v.Neg(v)
+				}
+			}
+			t.pivot(i, piv)
+		}
+		for j := 0; j < nCols; j++ {
+			if artCols[j] {
+				t.dead[j] = true
+			}
+		}
+	}
+
+	// Phase 2: the real objective. Build the reduced-cost row −c and
+	// eliminate the basic columns.
+	z := newRow(nCols + 1)
+	objDen := rat.DenominatorLCM(values(m.obj)...)
+	z.d = objDen
+	for v, c := range m.obj {
+		cc := c
+		if !m.maximize {
+			cc = rat.Neg(c)
+		}
+		z.n[v] = new(big.Int).Neg(rat.ScaleToInt(cc, objDen))
+	}
+	t.obj = z
+	for i, b := range t.basis {
+		if z.n[b].Sign() != 0 {
+			t.eliminateRational(z, t.rows[i], b)
+		}
+	}
+	if err := t.iterate(); err != nil {
+		return nil, err
+	}
+
+	// Extract the solution.
+	vals := make([]rat.Rat, nStruct)
+	for v := range vals {
+		vals[v] = rat.Zero()
+	}
+	for i, b := range t.basis {
+		if b < nStruct {
+			vals[b] = t.rows[i].rational(t.rhs)
+		}
+	}
+	objVal := t.obj.rational(t.rhs)
+	if !m.maximize {
+		objVal = rat.Neg(objVal)
+	}
+	return &Solution{
+		model:      m,
+		Objective:  objVal,
+		values:     vals,
+		Iterations: t.pivots,
+	}, nil
+}
+
+// eliminateRational performs z ← z − z[col]·row, where the row is in solved
+// form (its col entry equals 1 as a rational, i.e. r.n[col] == r.d). Used
+// when (re)installing an objective row over an existing basis:
+//
+//	z'_j = (z.n[j]·r.d − z.n[col]·r.n[j]) / (z.d·r.d)
+func (t *tableau) eliminateRational(z *row, r *row, col int) {
+	f := new(big.Int).Set(z.n[col])
+	if f.Sign() == 0 {
+		return
+	}
+	var tmp big.Int
+	for j, nj := range z.n {
+		nj.Mul(nj, r.d)
+		tmp.Mul(f, r.n[j])
+		nj.Sub(nj, &tmp)
+	}
+	z.d = new(big.Int).Mul(z.d, r.d)
+	z.normalize()
+}
+
+// values collects the values of a map in unspecified order.
+func values[K comparable, V any](m map[K]V) []V {
+	out := make([]V, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,304 @@
+// Package matching serializes the communications of one schedule period
+// into non-overlapping steps, the construction of Section 3.3 of the paper:
+// from the platform graph and the (integer) per-period transfer times we
+// build a bipartite graph with one sender node P_i^send and one receiver
+// node P_j^recv per processor and one edge per transfer, and decompose it
+// into weighted matchings. Within a matching every sender sends at most one
+// message stream and every receiver receives at most one, so the transfers
+// of a matching may run simultaneously without violating the one-port
+// model.
+//
+// The paper invokes the weighted edge-coloring algorithm of Schrijver
+// (Combinatorial Optimization, vol. A, ch. 20). We implement the equivalent
+// Birkhoff–von-Neumann construction: pad the weighted bipartite (multi-)
+// graph with idle time until every sender and receiver is busy for exactly
+// Δ = the maximum weighted degree, then repeatedly extract a perfect
+// matching on the positive support (it exists by Hall's theorem at every
+// step) weighted by its minimum entry. Each extraction zeroes at least one
+// edge, so the number of matchings is polynomial, and the matchings
+// restricted to real (non-padding) edges reproduce every transfer exactly.
+package matching
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rat"
+)
+
+// Transfer is one communication demand within a period: sender s must send
+// to receiver r for Weight time units, carrying an opaque payload (the
+// schedule layer stores the message type and count there).
+type Transfer struct {
+	Sender, Receiver int
+	Weight           rat.Rat
+	Payload          any
+}
+
+// Step is one serial slot of the period: a set of transfers that run
+// simultaneously for Duration time units. At most one transfer per sender
+// and at most one per receiver (a matching).
+type Step struct {
+	Duration  rat.Rat
+	Transfers []Transfer // each with Weight == Duration
+}
+
+// Decompose splits the transfers into steps. nSenders and nReceivers bound
+// the node indices. The returned steps satisfy:
+//
+//   - each step is a matching (one-port-safe),
+//   - for every transfer, the total duration of steps containing it equals
+//     its weight (transfers may be split across non-adjacent steps),
+//   - the total duration of all steps equals Δ, the maximum weighted
+//     degree over senders and receivers (idle-only steps are dropped, so
+//     the emitted durations may sum to less than Δ).
+func Decompose(nSenders, nReceivers int, transfers []Transfer) ([]Step, error) {
+	if nSenders <= 0 || nReceivers <= 0 {
+		return nil, fmt.Errorf("matching: empty side (senders=%d receivers=%d)", nSenders, nReceivers)
+	}
+	for _, t := range transfers {
+		if t.Sender < 0 || t.Sender >= nSenders || t.Receiver < 0 || t.Receiver >= nReceivers {
+			return nil, fmt.Errorf("matching: transfer %d→%d out of range", t.Sender, t.Receiver)
+		}
+		if t.Weight == nil || t.Weight.Sign() <= 0 {
+			return nil, fmt.Errorf("matching: transfer %d→%d has non-positive weight", t.Sender, t.Receiver)
+		}
+	}
+	if len(transfers) == 0 {
+		return nil, nil
+	}
+
+	// Working copies: per-cell lists of remaining real entries, plus a
+	// padding layer. Square the matrix so perfect matchings exist.
+	n := nSenders
+	if nReceivers > n {
+		n = nReceivers
+	}
+	type entry struct {
+		weight  rat.Rat
+		payload any
+	}
+	cells := make([][][]*entry, n)
+	pad := make([][]rat.Rat, n)
+	for i := range cells {
+		cells[i] = make([][]*entry, n)
+		pad[i] = make([]rat.Rat, n)
+		for j := range pad[i] {
+			pad[i][j] = rat.Zero()
+		}
+	}
+	rowSum := make([]rat.Rat, n)
+	colSum := make([]rat.Rat, n)
+	for i := 0; i < n; i++ {
+		rowSum[i] = rat.Zero()
+		colSum[i] = rat.Zero()
+	}
+	for _, t := range transfers {
+		cells[t.Sender][t.Receiver] = append(cells[t.Sender][t.Receiver],
+			&entry{weight: rat.Copy(t.Weight), payload: t.Payload})
+		rowSum[t.Sender].Add(rowSum[t.Sender], t.Weight)
+		colSum[t.Receiver].Add(colSum[t.Receiver], t.Weight)
+	}
+	delta := rat.MaxOf(append(rat.Clone(rowSum), colSum...)...)
+
+	// Pad every row and column up to Δ. Greedy: repeatedly put the
+	// feasible maximum into the first (row, col) pair with slack. Total
+	// row slack equals total column slack, so this terminates with an
+	// exactly doubly-Δ-regular weighted bipartite graph.
+	for i, j := 0, 0; i < n && j < n; {
+		rSlack := rat.Sub(delta, rowSum[i])
+		if rSlack.Sign() == 0 {
+			i++
+			continue
+		}
+		cSlack := rat.Sub(delta, colSum[j])
+		if cSlack.Sign() == 0 {
+			j++
+			continue
+		}
+		amt := rat.Min(rSlack, cSlack)
+		pad[i][j].Add(pad[i][j], amt)
+		rowSum[i].Add(rowSum[i], amt)
+		colSum[j].Add(colSum[j], amt)
+	}
+
+	// Extraction loop.
+	var steps []Step
+	remaining := rat.Copy(delta)
+	for remaining.Sign() > 0 {
+		match, err := perfectMatching(n, func(i, j int) bool {
+			return len(cells[i][j]) > 0 || pad[i][j].Sign() > 0
+		})
+		if err != nil {
+			return nil, fmt.Errorf("matching: internal: %w (remaining=%s)", err, remaining.RatString())
+		}
+		// For each matched cell choose a concrete entry: the smallest real
+		// entry when available (zeroes entries fastest), else padding.
+		chosen := make([]*entry, n) // per row; nil = padding
+		alpha := rat.Copy(remaining)
+		for i, j := range match {
+			var pick *entry
+			for _, e := range cells[i][j] {
+				if pick == nil || e.weight.Cmp(pick.weight) < 0 {
+					pick = e
+				}
+			}
+			chosen[i] = pick
+			v := pad[i][j]
+			if pick != nil {
+				v = pick.weight
+			}
+			if v.Cmp(alpha) < 0 {
+				alpha = rat.Copy(v)
+			}
+		}
+		// Subtract α and emit the real part of the matching.
+		st := Step{Duration: rat.Copy(alpha)}
+		for i, j := range match {
+			if e := chosen[i]; e != nil {
+				e.weight = rat.Sub(e.weight, alpha)
+				if e.weight.Sign() == 0 {
+					cells[i][j] = removeEntry(cells[i][j], e)
+				}
+				st.Transfers = append(st.Transfers, Transfer{
+					Sender: i, Receiver: j, Weight: rat.Copy(alpha), Payload: e.payload,
+				})
+			} else {
+				pad[i][j] = rat.Sub(pad[i][j], alpha)
+			}
+		}
+		if len(st.Transfers) > 0 {
+			sort.Slice(st.Transfers, func(a, b int) bool {
+				if st.Transfers[a].Sender != st.Transfers[b].Sender {
+					return st.Transfers[a].Sender < st.Transfers[b].Sender
+				}
+				return st.Transfers[a].Receiver < st.Transfers[b].Receiver
+			})
+			steps = append(steps, st)
+		}
+		remaining.Sub(remaining, alpha)
+	}
+	return steps, nil
+}
+
+func removeEntry[T comparable](s []T, x T) []T {
+	for i, v := range s {
+		if v == x {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// perfectMatching finds a perfect matching of the n×n bipartite graph
+// whose edges are given by the support predicate, using Kuhn's augmenting
+// path algorithm. It returns match[row] = col.
+func perfectMatching(n int, support func(i, j int) bool) ([]int, error) {
+	matchCol := make([]int, n) // col → row
+	matchRow := make([]int, n) // row → col
+	for i := range matchCol {
+		matchCol[i] = -1
+		matchRow[i] = -1
+	}
+	var try func(row int, visited []bool) bool
+	try = func(row int, visited []bool) bool {
+		for col := 0; col < n; col++ {
+			if visited[col] || !support(row, col) {
+				continue
+			}
+			visited[col] = true
+			if matchCol[col] == -1 || try(matchCol[col], visited) {
+				matchCol[col] = row
+				matchRow[row] = col
+				return true
+			}
+		}
+		return false
+	}
+	for row := 0; row < n; row++ {
+		if !try(row, make([]bool, n)) {
+			return nil, fmt.Errorf("no perfect matching (row %d unmatched)", row)
+		}
+	}
+	return matchRow, nil
+}
+
+// MaxWeightedDegree returns Δ: the largest total weight incident to any
+// sender or receiver — the minimum serial time needed to run all transfers
+// under the one-port model, and the total duration Decompose schedules.
+func MaxWeightedDegree(nSenders, nReceivers int, transfers []Transfer) rat.Rat {
+	rows := make([]rat.Rat, nSenders)
+	cols := make([]rat.Rat, nReceivers)
+	for i := range rows {
+		rows[i] = rat.Zero()
+	}
+	for j := range cols {
+		cols[j] = rat.Zero()
+	}
+	for _, t := range transfers {
+		rows[t.Sender].Add(rows[t.Sender], t.Weight)
+		cols[t.Receiver].Add(cols[t.Receiver], t.Weight)
+	}
+	return rat.MaxOf(append(rows, cols...)...)
+}
+
+// VerifySteps checks a decomposition against the original transfers: every
+// step is a matching, and per (sender, receiver, payload) the step
+// durations add up to the original weight. It returns the first violation.
+func VerifySteps(transfers []Transfer, steps []Step) error {
+	type key struct {
+		s, r    int
+		payload any
+	}
+	want := make(map[key]rat.Rat)
+	for _, t := range transfers {
+		k := key{t.Sender, t.Receiver, t.Payload}
+		if want[k] == nil {
+			want[k] = rat.Zero()
+		}
+		want[k].Add(want[k], t.Weight)
+	}
+	got := make(map[key]rat.Rat)
+	for si, st := range steps {
+		if st.Duration == nil || st.Duration.Sign() <= 0 {
+			return fmt.Errorf("matching: step %d has non-positive duration", si)
+		}
+		sSeen := make(map[int]bool)
+		rSeen := make(map[int]bool)
+		for _, tr := range st.Transfers {
+			if sSeen[tr.Sender] {
+				return fmt.Errorf("matching: step %d uses sender %d twice", si, tr.Sender)
+			}
+			if rSeen[tr.Receiver] {
+				return fmt.Errorf("matching: step %d uses receiver %d twice", si, tr.Receiver)
+			}
+			sSeen[tr.Sender] = true
+			rSeen[tr.Receiver] = true
+			if !rat.Eq(tr.Weight, st.Duration) {
+				return fmt.Errorf("matching: step %d transfer %d→%d weight %s ≠ duration %s",
+					si, tr.Sender, tr.Receiver, tr.Weight.RatString(), st.Duration.RatString())
+			}
+			k := key{tr.Sender, tr.Receiver, tr.Payload}
+			if got[k] == nil {
+				got[k] = rat.Zero()
+			}
+			got[k].Add(got[k], tr.Weight)
+		}
+	}
+	for k, w := range want {
+		g := got[k]
+		if g == nil || !rat.Eq(g, w) {
+			gs := "0"
+			if g != nil {
+				gs = g.RatString()
+			}
+			return fmt.Errorf("matching: transfer %d→%d: scheduled %s, want %s", k.s, k.r, gs, w.RatString())
+		}
+	}
+	for k := range got {
+		if want[k] == nil {
+			return fmt.Errorf("matching: phantom transfer %d→%d in steps", k.s, k.r)
+		}
+	}
+	return nil
+}

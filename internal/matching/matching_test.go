@@ -1,0 +1,234 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rat"
+)
+
+func TestDecomposeEmpty(t *testing.T) {
+	steps, err := Decompose(2, 2, nil)
+	if err != nil || steps != nil {
+		t.Errorf("empty decompose: %v, %v", steps, err)
+	}
+}
+
+func TestDecomposeSingleTransfer(t *testing.T) {
+	tr := []Transfer{{Sender: 0, Receiver: 1, Weight: rat.Int(5), Payload: "m"}}
+	steps, err := Decompose(2, 2, tr)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	if err := VerifySteps(tr, steps); err != nil {
+		t.Fatalf("VerifySteps: %v", err)
+	}
+	if len(steps) != 1 || !rat.Eq(steps[0].Duration, rat.Int(5)) {
+		t.Errorf("steps = %v", steps)
+	}
+}
+
+func TestDecomposeValidation(t *testing.T) {
+	if _, err := Decompose(0, 1, nil); err == nil {
+		t.Error("zero senders should fail")
+	}
+	if _, err := Decompose(1, 1, []Transfer{{Sender: 5, Receiver: 0, Weight: rat.One()}}); err == nil {
+		t.Error("out-of-range sender should fail")
+	}
+	if _, err := Decompose(2, 2, []Transfer{{Sender: 0, Receiver: 1, Weight: rat.Zero()}}); err == nil {
+		t.Error("zero weight should fail")
+	}
+}
+
+// TestDecomposePaperFig3 reproduces the paper's Figure 3: the bipartite
+// graph of the Fig. 2 scatter solution for a period of 12 decomposes into a
+// small number of matchings. Transfers (occupation times within period 12):
+//
+//	Ps→Pa: 3 (3·m0)     Ps→Pb: 3 (3·m0) and 6 (6·m1)
+//	Pa→P0: 2 (3·m0)     Pb→P0: 4 (3·m0)     Pb→P1: 8 (6·m1)
+//
+// Senders: Ps=0, Pa=1, Pb=2. Receivers: Pa=0, Pb=1, P0=2, P1=3.
+// Δ = max degree = Ps sends 12, Pb sends 12, P1 receives 8 … = 12, so the
+// matchings must tile exactly 12 time units.
+func TestDecomposePaperFig3(t *testing.T) {
+	transfers := []Transfer{
+		{Sender: 0, Receiver: 0, Weight: rat.Int(3), Payload: "m0→Pa"},
+		{Sender: 0, Receiver: 1, Weight: rat.Int(3), Payload: "m0→Pb"},
+		{Sender: 0, Receiver: 1, Weight: rat.Int(6), Payload: "m1→Pb"},
+		{Sender: 1, Receiver: 2, Weight: rat.Int(2), Payload: "m0 Pa→P0"},
+		{Sender: 2, Receiver: 2, Weight: rat.Int(4), Payload: "m0 Pb→P0"},
+		{Sender: 2, Receiver: 3, Weight: rat.Int(8), Payload: "m1 Pb→P1"},
+	}
+	if got := MaxWeightedDegree(3, 4, transfers); !rat.Eq(got, rat.Int(12)) {
+		t.Fatalf("Δ = %s, want 12", got.RatString())
+	}
+	steps, err := Decompose(3, 4, transfers)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	if err := VerifySteps(transfers, steps); err != nil {
+		t.Fatalf("VerifySteps: %v", err)
+	}
+	// The paper finds 4 matchings; our algorithm may find a slightly
+	// different but still polynomial count. It must stay small.
+	if len(steps) > 10 {
+		t.Errorf("steps = %d, want a handful (paper: 4)", len(steps))
+	}
+	total := rat.Zero()
+	for _, s := range steps {
+		total.Add(total, s.Duration)
+	}
+	if total.Cmp(rat.Int(12)) > 0 {
+		t.Errorf("total duration %s exceeds Δ=12", total.RatString())
+	}
+	t.Logf("fig3: %d matchings, total busy duration %s of Δ=12", len(steps), total.RatString())
+}
+
+func TestDecomposeParallelEdgesSameCell(t *testing.T) {
+	// Two message types on the same (sender, receiver) pair must never
+	// share a step, and both must be fully scheduled.
+	transfers := []Transfer{
+		{Sender: 0, Receiver: 0, Weight: rat.Int(2), Payload: "a"},
+		{Sender: 0, Receiver: 0, Weight: rat.Int(3), Payload: "b"},
+	}
+	steps, err := Decompose(1, 1, transfers)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	if err := VerifySteps(transfers, steps); err != nil {
+		t.Fatalf("VerifySteps: %v", err)
+	}
+	for _, s := range steps {
+		if len(s.Transfers) != 1 {
+			t.Errorf("step with %d transfers on a single pair", len(s.Transfers))
+		}
+	}
+}
+
+func TestDecomposeRationalWeights(t *testing.T) {
+	transfers := []Transfer{
+		{Sender: 0, Receiver: 0, Weight: rat.New(1, 3), Payload: "x"},
+		{Sender: 0, Receiver: 1, Weight: rat.New(1, 2), Payload: "y"},
+		{Sender: 1, Receiver: 0, Weight: rat.New(2, 3), Payload: "z"},
+	}
+	steps, err := Decompose(2, 2, transfers)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	if err := VerifySteps(transfers, steps); err != nil {
+		t.Fatalf("VerifySteps: %v", err)
+	}
+}
+
+func TestVerifyStepsCatchesBadSchedules(t *testing.T) {
+	transfers := []Transfer{
+		{Sender: 0, Receiver: 0, Weight: rat.Int(2), Payload: "a"},
+		{Sender: 1, Receiver: 1, Weight: rat.Int(2), Payload: "b"},
+	}
+	// Conflicting senders in one step.
+	bad := []Step{{
+		Duration: rat.Int(2),
+		Transfers: []Transfer{
+			{Sender: 0, Receiver: 0, Weight: rat.Int(2), Payload: "a"},
+			{Sender: 0, Receiver: 1, Weight: rat.Int(2), Payload: "b"},
+		},
+	}}
+	if err := VerifySteps(transfers, bad); err == nil {
+		t.Error("sender conflict not caught")
+	}
+	// Under-scheduled transfer.
+	short := []Step{{
+		Duration:  rat.Int(1),
+		Transfers: []Transfer{{Sender: 0, Receiver: 0, Weight: rat.Int(1), Payload: "a"}},
+	}}
+	if err := VerifySteps(transfers, short); err == nil {
+		t.Error("missing duration not caught")
+	}
+	// Phantom transfer.
+	phantom := []Step{
+		{Duration: rat.Int(2), Transfers: []Transfer{{Sender: 0, Receiver: 0, Weight: rat.Int(2), Payload: "a"}}},
+		{Duration: rat.Int(2), Transfers: []Transfer{{Sender: 1, Receiver: 1, Weight: rat.Int(2), Payload: "b"}}},
+		{Duration: rat.Int(1), Transfers: []Transfer{{Sender: 1, Receiver: 0, Weight: rat.Int(1), Payload: "c"}}},
+	}
+	if err := VerifySteps(transfers, phantom); err == nil {
+		t.Error("phantom transfer not caught")
+	}
+}
+
+// TestPropertyDecomposeRecompose: for random transfer sets, the
+// decomposition exists, verifies, and its total duration equals Δ exactly
+// when every row/col is saturated or stays ≤ Δ otherwise.
+func TestPropertyDecomposeRecompose(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nS := 1 + rng.Intn(4)
+		nR := 1 + rng.Intn(4)
+		var transfers []Transfer
+		count := 1 + rng.Intn(8)
+		for k := 0; k < count; k++ {
+			transfers = append(transfers, Transfer{
+				Sender:   rng.Intn(nS),
+				Receiver: rng.Intn(nR),
+				Weight:   rat.New(int64(1+rng.Intn(12)), int64(1+rng.Intn(4))),
+				Payload:  k,
+			})
+		}
+		steps, err := Decompose(nS, nR, transfers)
+		if err != nil {
+			return false
+		}
+		if err := VerifySteps(transfers, steps); err != nil {
+			return false
+		}
+		// Busy duration never exceeds Δ.
+		total := rat.Zero()
+		for _, s := range steps {
+			total.Add(total, s.Duration)
+		}
+		return total.Cmp(MaxWeightedDegree(nS, nR, transfers)) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyStepCountPolynomial: the number of emitted steps stays under
+// the |transfers| + (n+1)² bound that the zero-one-entry-per-step argument
+// gives.
+func TestPropertyStepCountPolynomial(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(5)
+		var transfers []Transfer
+		for k := 0; k < n*n; k++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			transfers = append(transfers, Transfer{
+				Sender:   k / n,
+				Receiver: k % n,
+				Weight:   rat.Int(int64(1 + rng.Intn(20))),
+				Payload:  k,
+			})
+		}
+		if len(transfers) == 0 {
+			continue
+		}
+		steps, err := Decompose(n, n, transfers)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		bound := len(transfers) + (n+1)*(n+1)
+		if len(steps) > bound {
+			t.Errorf("trial %d: %d steps exceeds bound %d", trial, len(steps), bound)
+		}
+	}
+}
+
+func TestPerfectMatchingFailsOnEmptySupport(t *testing.T) {
+	_, err := perfectMatching(2, func(i, j int) bool { return false })
+	if err == nil {
+		t.Error("expected failure with empty support")
+	}
+}

@@ -1,0 +1,58 @@
+package reduce
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/rat"
+)
+
+// FixedPeriodPlan is the Section 4.6 approximation: the extracted tree
+// family re-weighted for an arbitrary (usually much smaller) period
+// T_fixed. Each tree's per-period count becomes r(T) = ⌊w(T)·T_fixed/T⌋,
+// which keeps all one-port and compute constraints satisfied (they scale
+// linearly) and loses at most card(Trees)/T_fixed of throughput
+// (Proposition 4).
+type FixedPeriodPlan struct {
+	Period *big.Int
+	// Trees holds the same tree shapes with adjusted weights; trees whose
+	// adjusted weight is zero are dropped.
+	Trees []*Tree
+	// Throughput = Σ r(T) / T_fixed.
+	Throughput rat.Rat
+	// Loss = TP − Throughput ≥ 0, bounded by card(original trees)/T_fixed.
+	Loss rat.Rat
+}
+
+// ApproximateFixedPeriod builds the fixed-period plan from trees extracted
+// at the exact period a.Period. fixed must be positive.
+func ApproximateFixedPeriod(a *Application, trees []*Tree, fixed *big.Int) (*FixedPeriodPlan, error) {
+	if fixed == nil || fixed.Sign() <= 0 {
+		return nil, fmt.Errorf("reduce: fixed period must be positive")
+	}
+	tp := rat.Div(new(big.Rat).SetInt(a.Ops), new(big.Rat).SetInt(a.Period))
+	plan := &FixedPeriodPlan{Period: new(big.Int).Set(fixed)}
+	sum := new(big.Int)
+	for _, t := range trees {
+		// r = ⌊w·fixed/T⌋
+		num := new(big.Int).Mul(t.Weight, fixed)
+		r := num.Div(num, a.Period)
+		if r.Sign() <= 0 {
+			continue
+		}
+		plan.Trees = append(plan.Trees, &Tree{Root: t.Root, Weight: r})
+		sum.Add(sum, r)
+	}
+	plan.Throughput = rat.Div(new(big.Rat).SetInt(sum), new(big.Rat).SetInt(fixed))
+	plan.Loss = rat.Sub(tp, plan.Throughput)
+	if plan.Loss.Sign() < 0 {
+		return nil, fmt.Errorf("reduce: fixed-period plan exceeds optimal throughput (bug)")
+	}
+	// Proposition 4's bound.
+	bound := rat.Div(rat.Int(int64(len(trees))), new(big.Rat).SetInt(fixed))
+	if plan.Loss.Cmp(bound) > 0 {
+		return nil, fmt.Errorf("reduce: loss %s exceeds card(Trees)/T_fixed = %s (bug)",
+			plan.Loss.RatString(), bound.RatString())
+	}
+	return plan, nil
+}

@@ -1,0 +1,158 @@
+package reduce
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rat"
+	"repro/internal/topology"
+)
+
+func TestGatherChain(t *testing.T) {
+	// n0 ← n1 ← n2 with unit links: n0's in-port must absorb 2 blocks per
+	// operation (its own block is local) whether they arrive merged or
+	// separate → TP = 1/2.
+	p := topology.Chain(3, rat.One(), rat.One())
+	var order []graph.NodeID
+	for _, name := range []string{"n0", "n1", "n2"} {
+		order = append(order, p.MustLookup(name))
+	}
+	pr, err := NewGatherProblem(p, order, order[0], rat.One())
+	if err != nil {
+		t.Fatalf("NewGatherProblem: %v", err)
+	}
+	sol, err := pr.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !rat.Eq(sol.TP, rat.New(1, 2)) {
+		t.Errorf("TP = %s, want 1/2", sol.TP.RatString())
+	}
+	if err := sol.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestGatherBlockSizeScales(t *testing.T) {
+	p := graph.New()
+	a := p.AddNode("a", rat.One())
+	b := p.AddNode("b", rat.One())
+	p.AddLink(a, b, rat.One())
+	pr, err := NewGatherProblem(p, []graph.NodeID{a, b}, a, rat.Int(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := pr.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// One 4-unit block crosses b→a per op → TP = 1/4.
+	if !rat.Eq(sol.TP, rat.New(1, 4)) {
+		t.Errorf("TP = %s, want 1/4", sol.TP.RatString())
+	}
+}
+
+func TestGatherValidation(t *testing.T) {
+	p := graph.New()
+	a := p.AddNode("a", rat.One())
+	b := p.AddNode("b", rat.One())
+	p.AddLink(a, b, rat.One())
+	if _, err := NewGatherProblem(p, []graph.NodeID{a, b}, a, rat.Zero()); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if _, err := NewGatherProblem(p, []graph.NodeID{a, b}, a, nil); err == nil {
+		t.Error("nil block size accepted")
+	}
+	if _, err := NewGatherProblem(p, []graph.NodeID{a}, a, rat.One()); err == nil {
+		t.Error("single participant accepted")
+	}
+}
+
+func TestGatherTreesExtract(t *testing.T) {
+	p := topology.Chain(3, rat.One(), rat.One())
+	var order []graph.NodeID
+	for _, name := range []string{"n0", "n1", "n2"} {
+		order = append(order, p.MustLookup(name))
+	}
+	pr, err := NewGatherProblem(p, order, order[0], rat.One())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := pr.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	app := sol.Integerize()
+	trees, err := app.ExtractTrees()
+	if err != nil {
+		t.Fatalf("ExtractTrees: %v", err)
+	}
+	if err := VerifyDecomposition(app, trees); err != nil {
+		t.Errorf("decomposition: %v", err)
+	}
+}
+
+func TestComputeAtRestriction(t *testing.T) {
+	// Fig-6 platform with tasks restricted to the target: the LP can no
+	// longer offload merges, so TP can only drop (or stay equal).
+	p, order, target := topology.PaperFig6()
+	free, err := NewProblem(p, order, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeSol, err := free.Solve()
+	if err != nil {
+		t.Fatalf("free Solve: %v", err)
+	}
+
+	restricted, err := NewProblem(p, order, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restricted.ComputeAt = []graph.NodeID{target}
+	rSol, err := restricted.Solve()
+	if err != nil {
+		t.Fatalf("restricted Solve: %v", err)
+	}
+	if rSol.TP.Cmp(freeSol.TP) > 0 {
+		t.Errorf("restricting compute increased TP: %s > %s",
+			rSol.TP.RatString(), freeSol.TP.RatString())
+	}
+	// All tasks must sit on the target.
+	for k := range rSol.Tasks {
+		if k.Node != target {
+			t.Errorf("task %v escaped the ComputeAt restriction", k)
+		}
+	}
+	if err := rSol.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	t.Logf("fig6: free TP=%s, compute-at-target TP=%s", freeSol.TP.RatString(), rSol.TP.RatString())
+}
+
+func TestComputeAtVerifyCatchesEscapees(t *testing.T) {
+	p, order, target := topology.PaperFig6()
+	pr, err := NewProblem(p, order, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := pr.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retroactively restrict: any off-target task must now fail Verify.
+	pr.ComputeAt = []graph.NodeID{target}
+	offTarget := false
+	for k := range sol.Tasks {
+		if k.Node != target {
+			offTarget = true
+		}
+	}
+	if offTarget {
+		if err := sol.Verify(); err == nil {
+			t.Error("Verify accepted tasks outside ComputeAt")
+		}
+	} else {
+		t.Log("optimum happened to compute only at target; nothing to check")
+	}
+}

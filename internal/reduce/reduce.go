@@ -1,0 +1,494 @@
+// Package reduce implements Section 4 of the paper: the Series of Reduces
+// problem. Participants P_0 … P_N each hold a value v_i per operation; the
+// goal is to compute v = v_0 ⊕ … ⊕ v_N (⊕ associative, non-commutative)
+// and store it on a target processor, maximizing the steady-state
+// throughput TP of pipelined operations.
+//
+// The package provides:
+//
+//   - the linear program SSR(G) (equations (7)–(11)): variables are
+//     fractional per-edge transfer rates of partial results v[k,m] and
+//     fractional per-node rates of reduction tasks T_{k,l,m} (which merge
+//     v[k,l] ⊕ v[l+1,m] → v[k,m]), under one-port, compute-occupation and
+//     conservation constraints;
+//   - the reduction-tree extraction algorithm of Figure 8 (EXTRACT_TREES /
+//     FIND_TREE), which certifies the integer periodic solution as a
+//     polynomial-size weighted family of reduction trees (Theorem 1);
+//   - the fixed-period approximation of Section 4.6 (Proposition 4).
+package reduce
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lp"
+	"repro/internal/rat"
+)
+
+// Range identifies the partial result v[K,M] = v_K ⊕ … ⊕ v_M (logical
+// participant indices, 0 ≤ K ≤ M ≤ N).
+type Range struct {
+	K, M int
+}
+
+// String renders the range as the paper writes it, e.g. "v[1,6]".
+func (r Range) String() string { return fmt.Sprintf("v[%d,%d]", r.K, r.M) }
+
+// IsLeaf reports whether the range is a single initial value v[i,i].
+func (r Range) IsLeaf() bool { return r.K == r.M }
+
+// Len returns the number of initial values covered.
+func (r Range) Len() int { return r.M - r.K + 1 }
+
+// Task identifies the reduction task T_{K,L,M}: v[K,L] ⊕ v[L+1,M] → v[K,M]
+// (0 ≤ K ≤ L < M ≤ N).
+type Task struct {
+	K, L, M int
+}
+
+// String renders the task as the paper writes it, e.g. "T[0,0,2]".
+func (t Task) String() string { return fmt.Sprintf("T[%d,%d,%d]", t.K, t.L, t.M) }
+
+// Left returns the task's left input range v[K,L].
+func (t Task) Left() Range { return Range{t.K, t.L} }
+
+// Right returns the task's right input range v[L+1,M].
+func (t Task) Right() Range { return Range{t.L + 1, t.M} }
+
+// Result returns the task's output range v[K,M].
+func (t Task) Result() Range { return Range{t.K, t.M} }
+
+// Problem is a Series of Reduces instance.
+type Problem struct {
+	Platform *graph.Platform
+	// Order lists the participants in reduction order: Order[i] holds v_i.
+	Order []graph.NodeID
+	// Target stores the final result v[0,N].
+	Target graph.NodeID
+	// SizeOf gives the message size of each partial result; nil means
+	// unit size for all (the paper's Figure 9 experiment uses uniform
+	// size 10).
+	SizeOf func(Range) rat.Rat
+	// TaskTime gives w(P_i, T): the time for a node to run one task; nil
+	// means SizeOf(result) / node speed, the convention of the paper's
+	// experiments.
+	TaskTime func(graph.NodeID, Task) rat.Rat
+	// ComputeAt, when non-nil, restricts reduction tasks to the listed
+	// nodes (each must be a non-router with positive speed). Nil allows
+	// every capable node — the paper's model. Restricting to just the
+	// target ablates the paper's interleaving of computation with
+	// communication (gather-then-reduce).
+	ComputeAt []graph.NodeID
+}
+
+// NewProblem validates and returns a reduce problem with default size and
+// task-time functions.
+func NewProblem(p *graph.Platform, order []graph.NodeID, target graph.NodeID) (*Problem, error) {
+	if len(order) < 2 {
+		return nil, fmt.Errorf("reduce: need at least two participants (a single value needs no reduction)")
+	}
+	seen := make(map[graph.NodeID]bool)
+	for _, id := range order {
+		if p.Node(id).Router {
+			return nil, fmt.Errorf("reduce: participant %s is a router", p.Node(id).Name)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("reduce: duplicate participant %s", p.Node(id).Name)
+		}
+		seen[id] = true
+	}
+	if p.Node(target).Router {
+		return nil, fmt.Errorf("reduce: target %s is a router", p.Node(target).Name)
+	}
+	for _, id := range order {
+		if id != target && !p.CanReach(id, target) {
+			return nil, fmt.Errorf("reduce: participant %s cannot reach target %s",
+				p.Node(id).Name, p.Node(target).Name)
+		}
+	}
+	pr := &Problem{
+		Platform: p,
+		Order:    append([]graph.NodeID(nil), order...),
+		Target:   target,
+	}
+	pr.SizeOf = func(Range) rat.Rat { return rat.One() }
+	pr.TaskTime = func(n graph.NodeID, t Task) rat.Rat {
+		return rat.Div(pr.SizeOf(t.Result()), p.Node(n).Speed)
+	}
+	return pr, nil
+}
+
+// N returns the largest participant index (participants are P_0 … P_N).
+func (pr *Problem) N() int { return len(pr.Order) - 1 }
+
+// Ranges enumerates all partial-result types v[k,m], k ≤ m.
+func (pr *Problem) Ranges() []Range {
+	var out []Range
+	for k := 0; k <= pr.N(); k++ {
+		for m := k; m <= pr.N(); m++ {
+			out = append(out, Range{k, m})
+		}
+	}
+	return out
+}
+
+// Tasks enumerates all task types T_{k,l,m}, k ≤ l < m.
+func (pr *Problem) Tasks() []Task {
+	var out []Task
+	for k := 0; k <= pr.N(); k++ {
+		for l := k; l < pr.N(); l++ {
+			for m := l + 1; m <= pr.N(); m++ {
+				out = append(out, Task{k, l, m})
+			}
+		}
+	}
+	return out
+}
+
+// owner returns the participant index of node id, or -1.
+func (pr *Problem) owner(id graph.NodeID) int {
+	for i, n := range pr.Order {
+		if n == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// computeNodes returns the nodes allowed to run reduction tasks: every
+// non-router node with positive speed, intersected with ComputeAt when the
+// restriction is set.
+func (pr *Problem) computeNodes() []graph.NodeID {
+	allowed := func(graph.NodeID) bool { return true }
+	if pr.ComputeAt != nil {
+		set := make(map[graph.NodeID]bool, len(pr.ComputeAt))
+		for _, id := range pr.ComputeAt {
+			set[id] = true
+		}
+		allowed = func(id graph.NodeID) bool { return set[id] }
+	}
+	var out []graph.NodeID
+	for _, n := range pr.Platform.Nodes() {
+		if !n.Router && n.Speed.Sign() > 0 && allowed(n.ID) {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// SendKey identifies a transfer variable send(From→To, v[K,M]).
+type SendKey struct {
+	From, To graph.NodeID
+	R        Range
+}
+
+// TaskKey identifies a computation variable cons(Node, T_{K,L,M}).
+type TaskKey struct {
+	Node graph.NodeID
+	T    Task
+}
+
+// Solution is a solved Series of Reduces: the optimal throughput and the
+// steady-state rates of every transfer and task.
+type Solution struct {
+	Problem *Problem
+	TP      rat.Rat
+	Sends   map[SendKey]rat.Rat
+	Tasks   map[TaskKey]rat.Rat
+	Stats   core.FlowStats
+}
+
+// Solve builds and solves SSR(G) exactly over the rationals.
+func (pr *Problem) Solve() (*Solution, error) {
+	n := pr.N()
+	final := Range{0, n}
+	m := lp.NewMaximize()
+	tp := m.Var("TP")
+	m.SetObjective(tp, rat.One())
+
+	// Transfer variables with light pruning: the final result never
+	// leaves the target, and a leaf v[i,i] never flows into its owner.
+	sendVars := make(map[SendKey]lp.Var)
+	occ := core.NewOccupancy(pr.Platform)
+	for _, e := range pr.Platform.Edges() {
+		for _, r := range pr.Ranges() {
+			if r == final && e.From == pr.Target {
+				continue
+			}
+			if r.IsLeaf() && e.To == pr.Order[r.K] {
+				continue
+			}
+			k := SendKey{e.From, e.To, r}
+			v := m.Var(fmt.Sprintf("send(%s->%s,%s)",
+				pr.Platform.Node(e.From).Name, pr.Platform.Node(e.To).Name, r))
+			sendVars[k] = v
+			occ.Add(e.From, e.To, v, rat.Mul(pr.SizeOf(r), e.Cost))
+		}
+	}
+	occ.AddConstraints(m)
+
+	// Computation variables and the α(P_i) ≤ 1 occupation constraint
+	// (equations (7) and (9), with α substituted out).
+	taskVars := make(map[TaskKey]lp.Var)
+	for _, node := range pr.computeNodes() {
+		alpha := lp.NewExpr()
+		for _, t := range pr.Tasks() {
+			k := TaskKey{node, t}
+			v := m.Var(fmt.Sprintf("cons(%s,%s)", pr.Platform.Node(node).Name, t))
+			taskVars[k] = v
+			alpha = alpha.Plus(pr.TaskTime(node, t), v)
+		}
+		m.AddConstraint(fmt.Sprintf("compute(%s)", pr.Platform.Node(node).Name),
+			alpha, lp.Leq, rat.One())
+	}
+
+	// Conservation law (10) at every node for every range, except the
+	// unlimited leaf at its owner and the final result at the target.
+	for _, node := range pr.Platform.Nodes() {
+		for _, r := range pr.Ranges() {
+			if r.IsLeaf() && pr.Order[r.K] == node.ID {
+				continue
+			}
+			if r == final && node.ID == pr.Target {
+				continue
+			}
+			expr := lp.NewExpr()
+			size := 0
+			// Inflow.
+			for _, e := range pr.Platform.InEdges(node.ID) {
+				if v, ok := sendVars[SendKey{e.From, e.To, r}]; ok {
+					expr = expr.Plus1(v)
+					size++
+				}
+			}
+			// Production: tasks T_{k,l,m} with result [k,m] = r.
+			for l := r.K; l < r.M; l++ {
+				if v, ok := taskVars[TaskKey{node.ID, Task{r.K, l, r.M}}]; ok {
+					expr = expr.Plus1(v)
+					size++
+				}
+			}
+			// Outflow.
+			for _, e := range pr.Platform.OutEdges(node.ID) {
+				if v, ok := sendVars[SendKey{e.From, e.To, r}]; ok {
+					expr = expr.Minus(rat.One(), v)
+					size++
+				}
+			}
+			// Consumption: as left operand T_{k,m,n} (n > m) or as right
+			// operand T_{n,k-1,m} (n < k).
+			for nn := r.M + 1; nn <= n; nn++ {
+				if v, ok := taskVars[TaskKey{node.ID, Task{r.K, r.M, nn}}]; ok {
+					expr = expr.Minus(rat.One(), v)
+					size++
+				}
+			}
+			for nn := 0; nn < r.K; nn++ {
+				if v, ok := taskVars[TaskKey{node.ID, Task{nn, r.K - 1, r.M}}]; ok {
+					expr = expr.Minus(rat.One(), v)
+					size++
+				}
+			}
+			if size == 0 {
+				continue
+			}
+			m.AddConstraint(fmt.Sprintf("conserve(%s,%s)", node.Name, r), expr, lp.Eq, rat.Zero())
+		}
+	}
+
+	// Throughput (11): final results reaching the target by transfer or
+	// by local computation.
+	tpExpr := lp.NewExpr().Minus(rat.One(), tp)
+	for _, e := range pr.Platform.InEdges(pr.Target) {
+		if v, ok := sendVars[SendKey{e.From, e.To, final}]; ok {
+			tpExpr = tpExpr.Plus1(v)
+		}
+	}
+	for l := 0; l < n; l++ {
+		if v, ok := taskVars[TaskKey{pr.Target, Task{0, l, n}}]; ok {
+			tpExpr = tpExpr.Plus1(v)
+		}
+	}
+	m.AddConstraint("throughput", tpExpr, lp.Eq, rat.Zero())
+
+	sol, err := m.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("reduce: SSR LP: %w", err)
+	}
+	if err := m.Verify(sol.Values()); err != nil {
+		return nil, fmt.Errorf("reduce: LP solution failed verification: %w", err)
+	}
+
+	out := &Solution{
+		Problem: pr,
+		TP:      rat.Copy(sol.Objective),
+		Sends:   make(map[SendKey]rat.Rat),
+		Tasks:   make(map[TaskKey]rat.Rat),
+		Stats:   core.FlowStats{Vars: m.NumVars(), Constraints: m.NumConstraints(), Pivots: sol.Iterations},
+	}
+	for k, v := range sendVars {
+		if val := sol.Value(v); val.Sign() > 0 {
+			out.Sends[k] = val
+		}
+	}
+	for k, v := range taskVars {
+		if val := sol.Value(v); val.Sign() > 0 {
+			out.Tasks[k] = val
+		}
+	}
+	out.cancelCycles()
+	return out, nil
+}
+
+// cancelCycles removes zero-net send circulations per range (the simplex
+// may return them at no objective cost; the tree extractor requires
+// cycle-free transfer support to terminate).
+func (s *Solution) cancelCycles() {
+	f := core.NewFlow[Range](s.Problem.Platform)
+	for k, r := range s.Sends {
+		f.SetSend(k.From, k.To, k.R, r)
+	}
+	core.CancelCycles(f)
+	s.Sends = make(map[SendKey]rat.Rat)
+	for e, types := range f.Sends {
+		for rg, r := range types {
+			s.Sends[SendKey{e.From, e.To, rg}] = r
+		}
+	}
+}
+
+// Throughput returns TP: reduce operations completed per time unit.
+func (s *Solution) Throughput() rat.Rat { return rat.Copy(s.TP) }
+
+// AllRates returns every rate in the solution plus TP (for the period
+// computation).
+func (s *Solution) AllRates() []rat.Rat {
+	out := []rat.Rat{rat.Copy(s.TP)}
+	for _, r := range s.Sends {
+		out = append(out, rat.Copy(r))
+	}
+	for _, r := range s.Tasks {
+		out = append(out, rat.Copy(r))
+	}
+	return out
+}
+
+// Period returns the integer schedule period (LCM of all denominators).
+func (s *Solution) Period() *big.Int { return rat.DenominatorLCM(s.AllRates()...) }
+
+// Verify re-checks every SSR constraint on the solution, independent of
+// the LP solver: one-port and compute occupations, the conservation law,
+// and the throughput equation. It returns the first violation.
+func (s *Solution) Verify() error {
+	pr := s.Problem
+	n := pr.N()
+	final := Range{0, n}
+
+	// One-port via a typed flow.
+	f := core.NewFlow[Range](pr.Platform)
+	for k, r := range s.Sends {
+		f.SetSend(k.From, k.To, k.R, r)
+	}
+	if err := f.VerifyOnePort(pr.SizeOf); err != nil {
+		return fmt.Errorf("reduce: %w", err)
+	}
+
+	// Compute occupation.
+	allowedCompute := make(map[graph.NodeID]bool)
+	for _, id := range pr.computeNodes() {
+		allowedCompute[id] = true
+	}
+	alpha := make(map[graph.NodeID]rat.Rat)
+	for k, r := range s.Tasks {
+		node := pr.Platform.Node(k.Node)
+		if !allowedCompute[k.Node] {
+			return fmt.Errorf("reduce: task on non-computing node %s", node.Name)
+		}
+		if alpha[k.Node] == nil {
+			alpha[k.Node] = rat.Zero()
+		}
+		alpha[k.Node].Add(alpha[k.Node], rat.Mul(r, pr.TaskTime(k.Node, k.T)))
+	}
+	for id, a := range alpha {
+		if a.Cmp(rat.One()) > 0 {
+			return fmt.Errorf("reduce: node %s computes for %s > 1 per time unit",
+				pr.Platform.Node(id).Name, a.RatString())
+		}
+	}
+
+	// Conservation.
+	for _, node := range pr.Platform.Nodes() {
+		for _, r := range pr.Ranges() {
+			if r.IsLeaf() && pr.Order[r.K] == node.ID {
+				continue
+			}
+			if r == final && node.ID == pr.Target {
+				continue
+			}
+			bal := rat.Zero()
+			in, out := f.InflowOutflow(node.ID, r)
+			bal.Add(bal, in)
+			bal.Sub(bal, out)
+			for l := r.K; l < r.M; l++ {
+				if v, ok := s.Tasks[TaskKey{node.ID, Task{r.K, l, r.M}}]; ok {
+					bal.Add(bal, v)
+				}
+			}
+			for nn := r.M + 1; nn <= n; nn++ {
+				if v, ok := s.Tasks[TaskKey{node.ID, Task{r.K, r.M, nn}}]; ok {
+					bal.Sub(bal, v)
+				}
+			}
+			for nn := 0; nn < r.K; nn++ {
+				if v, ok := s.Tasks[TaskKey{node.ID, Task{nn, r.K - 1, r.M}}]; ok {
+					bal.Sub(bal, v)
+				}
+			}
+			if bal.Sign() != 0 {
+				return fmt.Errorf("reduce: conservation violated at %s for %s: net %s",
+					node.Name, r, bal.RatString())
+			}
+		}
+	}
+
+	// Throughput equation.
+	got := rat.Zero()
+	in, _ := f.InflowOutflow(pr.Target, final)
+	got.Add(got, in)
+	for l := 0; l < n; l++ {
+		if v, ok := s.Tasks[TaskKey{pr.Target, Task{0, l, n}}]; ok {
+			got.Add(got, v)
+		}
+	}
+	if !rat.Eq(got, s.TP) {
+		return fmt.Errorf("reduce: target receives %s final results, want TP=%s",
+			got.RatString(), s.TP.RatString())
+	}
+	return nil
+}
+
+// String renders the solution like the paper's Figure 6(b)/10: throughput,
+// transfers and tasks with their rates.
+func (s *Solution) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "reduce throughput TP = %s (period %s)\n", s.TP.RatString(), s.Period().String())
+	var lines []string
+	for k, r := range s.Sends {
+		lines = append(lines, fmt.Sprintf("  send(%s->%s, %s) = %s",
+			s.Problem.Platform.Node(k.From).Name, s.Problem.Platform.Node(k.To).Name, k.R, r.RatString()))
+	}
+	for k, r := range s.Tasks {
+		lines = append(lines, fmt.Sprintf("  cons(%s, %s) = %s",
+			s.Problem.Platform.Node(k.Node).Name, k.T, r.RatString()))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

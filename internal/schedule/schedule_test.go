@@ -1,0 +1,174 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rat"
+	"repro/internal/scatter"
+	"repro/internal/topology"
+)
+
+func fig2Schedule(t *testing.T) (*scatter.Solution, *Schedule) {
+	t.Helper()
+	p, src, targets := topology.PaperFig2()
+	pr, err := scatter.NewProblem(p, src, targets)
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	sol, err := pr.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	sched, err := FromFlow(sol.Flow, scatter.UnitSize, func(c core.Commodity) string {
+		return "m_" + p.Node(c.Dst).Name
+	})
+	if err != nil {
+		t.Fatalf("FromFlow: %v", err)
+	}
+	return sol, sched
+}
+
+// TestPaperFig4Schedule builds the concrete periodic schedule for the
+// Fig. 2 scatter: it must verify, fit in the period, and deliver exactly
+// TP·T messages of each type per period.
+func TestPaperFig4Schedule(t *testing.T) {
+	sol, sched := fig2Schedule(t)
+	if err := sched.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if len(sched.Slots) == 0 {
+		t.Fatal("no slots")
+	}
+	// Messages delivered per period: every m_t crosses its final edge; the
+	// per-label totals count every hop, so each label's total is at least
+	// TP·T (relaying adds more).
+	perPeriod := rat.Mul(sol.Throughput(), sched.Period)
+	for label, total := range sched.TotalMessages() {
+		if total.Cmp(perPeriod) < 0 {
+			t.Errorf("label %s: %s messages per period, want ≥ %s",
+				label, total.RatString(), perPeriod.RatString())
+		}
+	}
+	t.Log("\n" + sched.Gantt())
+}
+
+func TestUnsplitProducesWholeMessages(t *testing.T) {
+	_, sched := fig2Schedule(t)
+	un := sched.Unsplit()
+	if un.HasSplitMessages() {
+		t.Error("Unsplit schedule still has fractional messages")
+	}
+	if err := un.Verify(); err != nil {
+		t.Errorf("Unsplit Verify: %v", err)
+	}
+	// Scaling preserves the message-per-time ratio.
+	ratio := rat.Div(un.Period, sched.Period)
+	if !ratio.IsInt() {
+		t.Errorf("Unsplit scaled by non-integer %s", ratio.RatString())
+	}
+	for label, total := range sched.TotalMessages() {
+		want := rat.Mul(total, ratio)
+		if got := un.TotalMessages()[label]; got == nil || !rat.Eq(got, want) {
+			t.Errorf("label %s: unsplit total %v, want %s", label, got, want.RatString())
+		}
+	}
+}
+
+func TestBusyTimeWithinPeriod(t *testing.T) {
+	_, sched := fig2Schedule(t)
+	if sched.BusyTime().Cmp(sched.Period) > 0 {
+		t.Errorf("busy time %s exceeds period %s",
+			sched.BusyTime().RatString(), sched.Period.RatString())
+	}
+}
+
+func TestVerifyCatchesBrokenSchedules(t *testing.T) {
+	_, sched := fig2Schedule(t)
+
+	// Overlapping senders within one slot.
+	if len(sched.Slots) > 0 && len(sched.Slots[0].Transfers) > 0 {
+		broken := *sched
+		slot := broken.Slots[0]
+		dup := slot.Transfers[0]
+		slot.Transfers = append(slot.Transfers, dup)
+		broken.Slots = append([]Slot{slot}, broken.Slots[1:]...)
+		if err := broken.Verify(); err == nil {
+			t.Error("duplicate sender in slot accepted")
+		}
+	}
+
+	// Slot past the period.
+	broken2 := *sched
+	broken2.Period = rat.New(1, 1000)
+	if err := broken2.Verify(); err == nil {
+		t.Error("slot beyond period accepted")
+	}
+}
+
+func TestFromFlowRejectsOverloadedFlow(t *testing.T) {
+	// Hand-build an infeasible flow (port busy > 1 per unit) and check
+	// the schedule builder rejects it.
+	p := graph.New()
+	a := p.AddNode("a", rat.One())
+	b := p.AddNode("b", rat.One())
+	c := p.AddNode("c", rat.One())
+	p.AddEdge(a, b, rat.One())
+	p.AddEdge(a, c, rat.One())
+	f := core.NewFlow[int](p)
+	f.SetSend(a, b, 0, rat.New(3, 4))
+	f.SetSend(a, c, 1, rat.New(3, 4)) // a's out port: 3/2 > 1
+	_, err := FromFlow(f, func(int) rat.Rat { return rat.One() }, func(i int) string { return "m" })
+	if err == nil {
+		t.Error("overloaded flow accepted")
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	_, sched := fig2Schedule(t)
+	g := sched.Gantt()
+	for _, want := range []string{"period", "slot boundaries:", "Ps→"} {
+		if !strings.Contains(g, want) {
+			t.Errorf("Gantt missing %q:\n%s", want, g)
+		}
+	}
+}
+
+func TestScheduleFromGossipFlow(t *testing.T) {
+	p := graph.New()
+	var ids []graph.NodeID
+	for _, name := range []string{"a", "b", "c"} {
+		ids = append(ids, p.AddNode(name, rat.One()))
+	}
+	p.AddLink(ids[0], ids[1], rat.One())
+	p.AddLink(ids[1], ids[2], rat.One())
+	p.AddLink(ids[0], ids[2], rat.One())
+	var comms []core.Commodity
+	for _, s := range ids {
+		for _, d := range ids {
+			if s != d {
+				comms = append(comms, core.Commodity{Src: s, Dst: d})
+			}
+		}
+	}
+	f, _, err := core.SolveUniformFlow(p, comms)
+	if err != nil {
+		t.Fatalf("SolveUniformFlow: %v", err)
+	}
+	sched, err := FromFlow(f, func(core.Commodity) rat.Rat { return rat.One() },
+		func(c core.Commodity) string {
+			return p.Node(c.Src).Name + ">" + p.Node(c.Dst).Name
+		})
+	if err != nil {
+		t.Fatalf("FromFlow: %v", err)
+	}
+	if err := sched.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	// All 6 streams appear.
+	if got := len(sched.TotalMessages()); got != 6 {
+		t.Errorf("labels = %d, want 6", got)
+	}
+}

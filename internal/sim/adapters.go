@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/graph"
+	"repro/internal/rat"
+	"repro/internal/reduce"
+	"repro/internal/scatter"
+)
+
+// commodityType names a scatter/gossip stream.
+func commodityType(p *graph.Platform, c core.Commodity) TypeID {
+	return TypeID(fmt.Sprintf("m_%s_%s", p.Node(c.Src).Name, p.Node(c.Dst).Name))
+}
+
+// flowModel builds a Model from any uniform flow: the integer per-period
+// transfer quotas, one source per commodity at its emitter, one sink at
+// its destination.
+func flowModel(flow *core.Flow[core.Commodity]) *Model {
+	p := flow.Platform
+	period := flow.Period()
+	m := &Model{
+		Platform: p,
+		Period:   period,
+		Sources:  make(map[Endpoint]bool),
+		Sinks:    make(map[Endpoint]bool),
+	}
+	seen := make(map[core.Commodity]bool)
+	for e, types := range flow.Sends {
+		for c, r := range types {
+			count := rat.ScaleToInt(r, period)
+			if count.Sign() == 0 {
+				continue
+			}
+			m.Transfers = append(m.Transfers, Transfer{
+				From: e.From, To: e.To, Type: commodityType(p, c), Count: count,
+			})
+			if !seen[c] {
+				seen[c] = true
+				m.Sources[Endpoint{c.Src, commodityType(p, c)}] = true
+				m.Sinks[Endpoint{c.Dst, commodityType(p, c)}] = true
+			}
+		}
+	}
+	return m
+}
+
+// ScatterModel builds the simulation model of a scatter solution.
+func ScatterModel(sol *scatter.Solution) *Model {
+	m := flowModel(sol.Flow)
+	// Targets with no traffic (disconnected at TP=0) still get sinks so
+	// MinDelivered stays honest.
+	for _, t := range sol.Problem.Targets {
+		c := core.Commodity{Src: sol.Problem.Source, Dst: t}
+		m.Sinks[Endpoint{t, commodityType(sol.Problem.Platform, c)}] = true
+	}
+	return m
+}
+
+// GossipModel builds the simulation model of a gossip solution.
+func GossipModel(sol *gossip.Solution) *Model {
+	m := flowModel(sol.Flow)
+	for _, c := range sol.Problem.Commodities() {
+		m.Sinks[Endpoint{c.Dst, commodityType(sol.Problem.Platform, c)}] = true
+	}
+	return m
+}
+
+// rangeType names a partial result.
+func rangeType(r reduce.Range) TypeID { return TypeID(r.String()) }
+
+// ReduceModel builds the simulation model of a reduce application (the
+// integerized solution): transfers from A's send counts, one rule per task
+// kind ordered by result length (so intra-period task chains resolve),
+// initial values as sources, the final value at the target as the sink.
+func ReduceModel(app *reduce.Application) *Model {
+	pr := app.Problem
+	m := &Model{
+		Platform: pr.Platform,
+		Period:   app.Period,
+		Sources:  make(map[Endpoint]bool),
+		Sinks:    make(map[Endpoint]bool),
+	}
+	for i, owner := range pr.Order {
+		m.Sources[Endpoint{owner, rangeType(reduce.Range{K: i, M: i})}] = true
+	}
+	final := reduce.Range{K: 0, M: pr.N()}
+	m.Sinks[Endpoint{pr.Target, rangeType(final)}] = true
+
+	for k, c := range app.Sends {
+		if c.Sign() == 0 {
+			continue
+		}
+		m.Transfers = append(m.Transfers, Transfer{
+			From: k.From, To: k.To, Type: rangeType(k.R), Count: c,
+		})
+	}
+	for k, c := range app.Tasks {
+		if c.Sign() == 0 {
+			continue
+		}
+		m.Rules = append(m.Rules, Rule{
+			Node:     k.Node,
+			Consumes: []TypeID{rangeType(k.T.Left()), rangeType(k.T.Right())},
+			Produces: rangeType(k.T.Result()),
+			Count:    c,
+			Order:    k.T.Result().Len(),
+		})
+	}
+	return m
+}

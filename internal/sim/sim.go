@@ -1,0 +1,270 @@
+// Package sim executes steady-state plans dynamically, playing the role of
+// the paper's experimental validation: it runs the buffered periodic
+// protocol of Section 3.4 over a finite horizon and measures the actually
+// delivered operations, so that Lemma 1 (no schedule beats TP·K) and
+// Propositions 1–3 (the protocol asymptotically reaches TP·K) can be
+// checked numerically rather than just symbolically.
+//
+// The simulator works at period granularity: intra-period one-port
+// feasibility is the schedule package's job (matching decomposition);
+// what is simulated here is the part the static schedule cannot show —
+// pipeline fill, buffer growth, and the start-up losses that make the
+// achieved-to-optimal ratio approach 1 only in the limit.
+//
+// The engine is generic: a Model has typed buffers per node, per-period
+// transfer quotas, per-period production rules (reduction tasks), infinite
+// sources (initial values), and sinks that count deliveries. Adapters in
+// this package build models from scatter solutions and reduce
+// applications.
+package sim
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rat"
+)
+
+// TypeID identifies a message type within a model ("m_P0", "v[1,6]", …).
+type TypeID string
+
+// Transfer is a per-period transfer quota: Count messages of Type moved
+// From → To each period (when the sender's buffer allows).
+type Transfer struct {
+	From, To graph.NodeID
+	Type     TypeID
+	Count    *big.Int
+}
+
+// Rule is a per-period production quota: Count executions per period, each
+// consuming one message of every type in Consumes and producing one of
+// Produces, on Node. Reduction tasks consume {v[k,l], v[l+1,m]} and
+// produce v[k,m].
+type Rule struct {
+	Node     graph.NodeID
+	Consumes []TypeID
+	Produces TypeID
+	Count    *big.Int
+	// order resolves intra-period chains: rules execute in ascending
+	// order, so a rule may consume what a lower-ordered rule produced in
+	// the same period. Reduce adapters use the result-range length.
+	Order int
+}
+
+// Endpoint names a (node, type) pair.
+type Endpoint struct {
+	Node graph.NodeID
+	Type TypeID
+}
+
+// Model is a complete simulation input.
+type Model struct {
+	Platform *graph.Platform
+	// Period is the plan's period in time units (used only for reporting
+	// throughput per time unit).
+	Period *big.Int
+	// Transfers and Rules define one period of the steady-state plan.
+	Transfers []Transfer
+	Rules     []Rule
+	// Sources have an unlimited supply of their type (message injection
+	// at the scatter source; initial values v[i,i] at their owners).
+	Sources map[Endpoint]bool
+	// Sinks absorb and count their type (scatter targets; the reduce
+	// target's final value).
+	Sinks map[Endpoint]bool
+}
+
+// Result reports a finished run.
+type Result struct {
+	Periods int
+	// Delivered counts absorbed messages per sink.
+	Delivered map[Endpoint]*big.Int
+	// MaxBuffer is the high-water mark of every non-source buffer.
+	MaxBuffer map[Endpoint]*big.Int
+	// FirstFullPeriod is the first period (0-based) in which every
+	// transfer and rule executed at full quota, or -1 if never — the end
+	// of the initialization phase.
+	FirstFullPeriod int
+}
+
+// MinDelivered returns the smallest per-sink delivery count — the number
+// of complete collective operations finished (an operation is complete
+// only when every sink got its message).
+func (r *Result) MinDelivered() *big.Int {
+	var min *big.Int
+	for _, d := range r.Delivered {
+		if min == nil || d.Cmp(min) < 0 {
+			min = d
+		}
+	}
+	if min == nil {
+		return new(big.Int)
+	}
+	return new(big.Int).Set(min)
+}
+
+// Run simulates the model for the given number of periods using the
+// Section 3.4 protocol:
+//
+//   - at each period start, a node ships a type only if its buffered stock
+//     covers the period's full outgoing quota of that type (sources always
+//     ship);
+//   - arrivals are credited after the sends of the period;
+//   - rules then run in Order, each up to its quota, limited by available
+//     inputs (inputs produced earlier in the same period may be consumed);
+//   - sinks drain and count their buffers at period end.
+//
+// Run fails on internal inconsistencies (negative buffers), which would
+// indicate a protocol bug rather than a property of the plan.
+func Run(m *Model, periods int) (*Result, error) {
+	if periods <= 0 {
+		return nil, fmt.Errorf("sim: periods must be positive")
+	}
+	buf := make(map[Endpoint]*big.Int)
+	get := func(e Endpoint) *big.Int {
+		if buf[e] == nil {
+			buf[e] = new(big.Int)
+		}
+		return buf[e]
+	}
+	res := &Result{
+		Periods:         periods,
+		Delivered:       make(map[Endpoint]*big.Int),
+		MaxBuffer:       make(map[Endpoint]*big.Int),
+		FirstFullPeriod: -1,
+	}
+	for e := range m.Sinks {
+		res.Delivered[e] = new(big.Int)
+	}
+
+	// Per-(node,type) total outgoing quota, for the shipping threshold.
+	demand := make(map[Endpoint]*big.Int)
+	for _, t := range m.Transfers {
+		e := Endpoint{t.From, t.Type}
+		if demand[e] == nil {
+			demand[e] = new(big.Int)
+		}
+		demand[e].Add(demand[e], t.Count)
+	}
+
+	rules := append([]Rule(nil), m.Rules...)
+	sort.SliceStable(rules, func(i, j int) bool { return rules[i].Order < rules[j].Order })
+
+	note := func(e Endpoint, v *big.Int) {
+		if m.Sources[e] {
+			return
+		}
+		if res.MaxBuffer[e] == nil || v.Cmp(res.MaxBuffer[e]) > 0 {
+			res.MaxBuffer[e] = new(big.Int).Set(v)
+		}
+	}
+
+	for period := 0; period < periods; period++ {
+		full := true
+
+		// Shipping decisions from the start-of-period snapshot.
+		eligible := make(map[Endpoint]bool)
+		for e, d := range demand {
+			if m.Sources[e] {
+				eligible[e] = true
+				continue
+			}
+			eligible[e] = get(e).Cmp(d) >= 0
+			if !eligible[e] {
+				full = false
+			}
+		}
+
+		// Sends, then arrivals.
+		type arrival struct {
+			e Endpoint
+			c *big.Int
+		}
+		var arrivals []arrival
+		for _, t := range m.Transfers {
+			from := Endpoint{t.From, t.Type}
+			if !eligible[from] {
+				continue
+			}
+			if !m.Sources[from] {
+				b := get(from)
+				b.Sub(b, t.Count)
+				if b.Sign() < 0 {
+					return nil, fmt.Errorf("sim: negative buffer at %s for %s",
+						m.Platform.Node(t.From).Name, t.Type)
+				}
+			}
+			arrivals = append(arrivals, arrival{Endpoint{t.To, t.Type}, t.Count})
+		}
+		for _, a := range arrivals {
+			if m.Sources[a.e] {
+				continue // supply is infinite; discard redundant inflow
+			}
+			b := get(a.e)
+			b.Add(b, a.c)
+			note(a.e, b)
+		}
+
+		// Rules.
+		for _, r := range rules {
+			execs := new(big.Int).Set(r.Count)
+			for _, c := range r.Consumes {
+				e := Endpoint{r.Node, c}
+				if m.Sources[e] {
+					continue
+				}
+				if avail := get(e); avail.Cmp(execs) < 0 {
+					execs.Set(avail)
+				}
+			}
+			if execs.Sign() < 0 {
+				execs.SetInt64(0)
+			}
+			if execs.Cmp(r.Count) < 0 {
+				full = false
+			}
+			if execs.Sign() == 0 {
+				continue
+			}
+			for _, c := range r.Consumes {
+				e := Endpoint{r.Node, c}
+				if m.Sources[e] {
+					continue
+				}
+				get(e).Sub(get(e), execs)
+			}
+			out := Endpoint{r.Node, r.Produces}
+			if !m.Sources[out] {
+				b := get(out)
+				b.Add(b, execs)
+				note(out, b)
+			}
+		}
+
+		// Sinks drain.
+		for e := range m.Sinks {
+			b := get(e)
+			if b.Sign() > 0 {
+				res.Delivered[e].Add(res.Delivered[e], b)
+				b.SetInt64(0)
+			}
+		}
+
+		if full && res.FirstFullPeriod == -1 {
+			res.FirstFullPeriod = period
+		}
+	}
+	return res, nil
+}
+
+// Throughput returns delivered operations per time unit over the run:
+// MinDelivered / (periods · period length).
+func (r *Result) Throughput(period *big.Int) rat.Rat {
+	total := new(big.Int).Mul(big.NewInt(int64(r.Periods)), period)
+	if total.Sign() == 0 {
+		return rat.Zero()
+	}
+	return new(big.Rat).SetFrac(r.MinDelivered(), total)
+}

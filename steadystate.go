@@ -1,0 +1,330 @@
+// Package steadystate is the public API of this repository: a Go
+// implementation of
+//
+//	A. Legrand, L. Marchal, Y. Robert,
+//	"Optimizing the steady-state throughput of scatter and reduce
+//	operations on heterogeneous platforms", IPPS 2004 (INRIA RR-4872).
+//
+// Instead of minimizing the completion time of a single collective
+// communication, the library pipelines a long series of identical
+// collectives on a heterogeneous platform — a directed graph of processors
+// and routers with per-link transfer costs and per-node compute speeds,
+// operating under the bidirectional one-port model — and computes the
+// optimal steady-state throughput TP (operations started per time unit)
+// together with a concrete periodic schedule achieving it:
+//
+//   - Scatter (Section 3): one source, one distinct message per target per
+//     operation. SolveScatter returns the optimal typed multi-route flow.
+//   - Gossip / personalized all-to-all (Section 3.5): every source sends a
+//     distinct message to every target per operation.
+//   - Reduce (Section 4): participants P_0…P_N hold values v_i, and
+//     v_0 ⊕ … ⊕ v_N (⊕ associative, non-commutative) must reach a target.
+//     SolveReduce returns the optimal rates of partial-result transfers
+//     v[k,m] and merge tasks T_{k,l,m}; ExtractTrees certifies them as a
+//     small weighted family of reduction trees (Theorem 1).
+//   - Parallel prefix (Section 6 extension): every rank i receives v[0,i].
+//
+// All arithmetic is exact over the rationals (math/big.Rat): throughputs,
+// schedules and periods are bit-exact, not floating point. Supporting
+// machinery is exposed for schedule construction (weighted-matching
+// decomposition into one-port-safe slots, Section 3.3), fixed-period
+// approximation (Section 4.6), dynamic simulation of the buffered
+// steady-state protocol (Section 3.4), baseline comparators, and topology
+// generation (including the paper's own example platforms).
+//
+// Quick start:
+//
+//	p := steadystate.NewPlatform()
+//	src := p.AddNode("src", steadystate.R(1, 1))
+//	dst := p.AddNode("dst", steadystate.R(1, 1))
+//	p.AddLink(src, dst, steadystate.R(1, 4)) // 4 unit messages per time unit
+//	sol, _ := steadystate.SolveScatter(p, src, []steadystate.NodeID{dst})
+//	fmt.Println(sol.Throughput()) // exact rational: 4
+package steadystate
+
+import (
+	"math/big"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/graph"
+	"repro/internal/prefix"
+	"repro/internal/rat"
+	"repro/internal/reduce"
+	"repro/internal/scatter"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Platform is the heterogeneous platform graph G = (V, E, c): directed
+// edges carry the time to transfer a unit-size message; non-router nodes
+// carry compute speeds.
+type Platform = graph.Platform
+
+// NodeID identifies a platform node.
+type NodeID = graph.NodeID
+
+// Node is one platform resource.
+type Node = graph.Node
+
+// Edge is one directed communication link.
+type Edge = graph.Edge
+
+// Rat is an exact rational number (alias of *math/big.Rat).
+type Rat = rat.Rat
+
+// NewPlatform returns an empty platform.
+func NewPlatform() *Platform { return graph.New() }
+
+// R returns the exact rational n/d.
+func R(n, d int64) Rat { return rat.New(n, d) }
+
+// ParseRat parses "3", "3/4" or "0.75" into an exact rational.
+func ParseRat(s string) (Rat, error) { return rat.Parse(s) }
+
+// ---------------------------------------------------------------------------
+// Scatter (Section 3)
+
+// ScatterProblem is a Series of Scatters instance.
+type ScatterProblem = scatter.Problem
+
+// ScatterSolution is a solved Series of Scatters.
+type ScatterSolution = scatter.Solution
+
+// SolveScatter computes the optimal steady-state scatter throughput from
+// source to targets and the typed multi-route flow achieving it
+// (linear program SSSP(G)).
+func SolveScatter(p *Platform, source NodeID, targets []NodeID) (*ScatterSolution, error) {
+	pr, err := scatter.NewProblem(p, source, targets)
+	if err != nil {
+		return nil, err
+	}
+	return pr.Solve()
+}
+
+// ---------------------------------------------------------------------------
+// Gossip (Section 3.5)
+
+// GossipProblem is a Series of Gossips (personalized all-to-all) instance.
+type GossipProblem = gossip.Problem
+
+// GossipSolution is a solved Series of Gossips.
+type GossipSolution = gossip.Solution
+
+// SolveGossip computes the optimal steady-state personalized all-to-all
+// throughput (linear program SSPA2A(G)).
+func SolveGossip(p *Platform, sources, targets []NodeID) (*GossipSolution, error) {
+	pr, err := gossip.NewProblem(p, sources, targets)
+	if err != nil {
+		return nil, err
+	}
+	return pr.Solve()
+}
+
+// ---------------------------------------------------------------------------
+// Reduce (Section 4)
+
+// ReduceProblem is a Series of Reduces instance; customize SizeOf and
+// TaskTime before calling Solve for non-uniform message sizes.
+type ReduceProblem = reduce.Problem
+
+// ReduceSolution is a solved Series of Reduces.
+type ReduceSolution = reduce.Solution
+
+// ReduceApplication is the integer per-period form of a reduce solution.
+type ReduceApplication = reduce.Application
+
+// ReductionTree is one weighted reduction tree of an extracted family.
+type ReductionTree = reduce.Tree
+
+// ReduceRange identifies a partial result v[K,M].
+type ReduceRange = reduce.Range
+
+// ReduceTask identifies a merge task T_{K,L,M}.
+type ReduceTask = reduce.Task
+
+// NewReduceProblem validates a reduce instance: order lists the
+// participants (order[i] holds v_i); target stores the final result.
+func NewReduceProblem(p *Platform, order []NodeID, target NodeID) (*ReduceProblem, error) {
+	return reduce.NewProblem(p, order, target)
+}
+
+// SolveReduce computes the optimal steady-state reduce throughput with
+// unit-size partial results (use NewReduceProblem + Solve directly for
+// custom sizes).
+func SolveReduce(p *Platform, order []NodeID, target NodeID) (*ReduceSolution, error) {
+	pr, err := reduce.NewProblem(p, order, target)
+	if err != nil {
+		return nil, err
+	}
+	return pr.Solve()
+}
+
+// NewGatherProblem configures a Series of Gathers as a reduce whose
+// operator is concatenation: partial results have size (m−k+1)·blockSize
+// and merges are free. Gathers in rank order are exactly non-commutative
+// reductions (paper, Section 4).
+func NewGatherProblem(p *Platform, order []NodeID, target NodeID, blockSize Rat) (*ReduceProblem, error) {
+	return reduce.NewGatherProblem(p, order, target, blockSize)
+}
+
+// FixedPeriodPlan is the Section 4.6 approximation of a tree family for an
+// arbitrary period.
+type FixedPeriodPlan = reduce.FixedPeriodPlan
+
+// ApproximateFixedPeriod re-weights extracted trees for the period fixed,
+// losing at most card(trees)/fixed of throughput (Proposition 4).
+func ApproximateFixedPeriod(app *ReduceApplication, trees []*ReductionTree, fixed *big.Int) (*FixedPeriodPlan, error) {
+	return reduce.ApproximateFixedPeriod(app, trees, fixed)
+}
+
+// VerifyTreeDecomposition checks Theorem 1's Σ w(T)·χ_T = A equation.
+func VerifyTreeDecomposition(app *ReduceApplication, trees []*ReductionTree) error {
+	return reduce.VerifyDecomposition(app, trees)
+}
+
+// ---------------------------------------------------------------------------
+// Parallel prefix (Section 6 extension)
+
+// PrefixProblem is a Series of Parallel Prefixes instance.
+type PrefixProblem = prefix.Problem
+
+// PrefixSolution is a solved prefix series.
+type PrefixSolution = prefix.Solution
+
+// SolvePrefix computes the optimal steady-state parallel-prefix
+// throughput: every rank i receives v[0,i] per operation.
+func SolvePrefix(p *Platform, order []NodeID) (*PrefixSolution, error) {
+	pr, err := prefix.NewProblem(p, order)
+	if err != nil {
+		return nil, err
+	}
+	return pr.Solve()
+}
+
+// ---------------------------------------------------------------------------
+// Schedules (Sections 3.3, 4.3)
+
+// Schedule is a concrete periodic communication schedule: consecutive
+// slots, each a one-port-safe matching of simultaneous transfers.
+type Schedule = schedule.Schedule
+
+// ScheduleSlot is one slot of a periodic schedule.
+type ScheduleSlot = schedule.Slot
+
+// ScatterSchedule serializes a scatter solution's period into matching
+// slots (the construction behind the paper's Figures 3–4).
+func ScatterSchedule(sol *ScatterSolution) (*Schedule, error) {
+	return schedule.FromFlow(sol.Flow, scatter.UnitSize, func(c core.Commodity) string {
+		return "m_" + sol.Problem.Platform.Node(c.Dst).Name
+	})
+}
+
+// GossipSchedule serializes a gossip solution's period.
+func GossipSchedule(sol *GossipSolution) (*Schedule, error) {
+	p := sol.Problem.Platform
+	return schedule.FromFlow(sol.Flow, gossip.UnitSize, func(c core.Commodity) string {
+		return "m_" + p.Node(c.Src).Name + "_" + p.Node(c.Dst).Name
+	})
+}
+
+// ReduceSchedule serializes a reduce tree family's period; pass a nil
+// period to use the application's exact period, or a fixed-period plan's
+// trees with its period.
+func ReduceSchedule(app *ReduceApplication, trees []*ReductionTree, period *big.Int) (*Schedule, error) {
+	return schedule.FromTrees(app, trees, period)
+}
+
+// ---------------------------------------------------------------------------
+// Simulation (Section 3.4 protocol)
+
+// SimModel is a dynamic model of the buffered periodic protocol.
+type SimModel = sim.Model
+
+// SimResult reports a finished simulation run.
+type SimResult = sim.Result
+
+// ScatterSimModel builds the simulation model of a scatter solution.
+func ScatterSimModel(sol *ScatterSolution) *SimModel { return sim.ScatterModel(sol) }
+
+// GossipSimModel builds the simulation model of a gossip solution.
+func GossipSimModel(sol *GossipSolution) *SimModel { return sim.GossipModel(sol) }
+
+// ReduceSimModel builds the simulation model of a reduce application.
+func ReduceSimModel(app *ReduceApplication) *SimModel { return sim.ReduceModel(app) }
+
+// Simulate runs the Section 3.4 protocol for the given number of periods
+// and reports delivered operations, buffer high-water marks and the end of
+// the initialization phase.
+func Simulate(m *SimModel, periods int) (*SimResult, error) { return sim.Run(m, periods) }
+
+// SimLatencyResult reports per-operation pipeline latency.
+type SimLatencyResult = sim.LatencyResult
+
+// SimulateLatency runs the protocol with FIFO origin tracking, measuring
+// how many periods each delivered operation spent in flight — the latency
+// cost of throughput-optimal pipelining.
+func SimulateLatency(m *SimModel, periods int) (*SimLatencyResult, error) {
+	return sim.RunLatency(m, periods)
+}
+
+// ---------------------------------------------------------------------------
+// Baselines
+
+// BaselineScatter is a single-path scatter plan and its throughput.
+type BaselineScatter = baseline.ScatterResult
+
+// BaselineReduce is a fixed single-tree reduce plan and its throughput.
+type BaselineReduce = baseline.ReduceResult
+
+// SinglePathScatter evaluates the static min-cost-path scatter baseline.
+func SinglePathScatter(p *Platform, source NodeID, targets []NodeID) (*BaselineScatter, error) {
+	return baseline.SinglePathScatter(p, source, targets)
+}
+
+// FlatReduceTree evaluates the gather-then-reduce-at-target baseline.
+func FlatReduceTree(pr *ReduceProblem) (*BaselineReduce, error) {
+	return baseline.FlatReduceTree(pr)
+}
+
+// BinaryReduceTree evaluates the balanced-merge-tree baseline.
+func BinaryReduceTree(pr *ReduceProblem) (*BaselineReduce, error) {
+	return baseline.BinaryReduceTree(pr)
+}
+
+// ---------------------------------------------------------------------------
+// Topologies
+
+// TiersConfig sizes a Tiers-like hierarchical random platform.
+type TiersConfig = topology.TiersConfig
+
+// RandomConfig controls the plain random generators.
+type RandomConfig = topology.RandomConfig
+
+// DefaultTiersConfig mirrors the scale of the paper's Figure 9.
+func DefaultTiersConfig(seed int64) TiersConfig { return topology.DefaultTiersConfig(seed) }
+
+// Tiers generates a Tiers-like WAN/MAN/LAN platform.
+func Tiers(cfg TiersConfig) *Platform { return topology.Tiers(cfg) }
+
+// Star, Chain, Ring and Grid2D build regular platforms.
+func Star(n int, cost, speed Rat) *Platform  { return topology.Star(n, cost, speed) }
+func Chain(n int, cost, speed Rat) *Platform { return topology.Chain(n, cost, speed) }
+func Ring(n int, cost, speed Rat) *Platform  { return topology.Ring(n, cost, speed) }
+func Grid2D(r, c int, cost, speed Rat) *Platform {
+	return topology.Grid2D(r, c, cost, speed)
+}
+
+// PaperFig2 returns the paper's toy scatter platform (TP = 1/2).
+func PaperFig2() (*Platform, NodeID, []NodeID) { return topology.PaperFig2() }
+
+// PaperFig6 returns the paper's toy reduce platform (TP = 1).
+func PaperFig6() (*Platform, []NodeID, NodeID) { return topology.PaperFig6() }
+
+// PaperFig9 returns the paper's 14-node Tiers experiment platform.
+func PaperFig9() (*Platform, []NodeID, NodeID) { return topology.PaperFig9() }
+
+// PaperFig9MessageSize is the message size of the Figure 9 experiment.
+func PaperFig9MessageSize() Rat { return topology.PaperFig9MessageSize() }
