@@ -1,0 +1,556 @@
+// api.go defines the unified collective API: every collective of the
+// paper (scatter, gossip, reduce, gather, prefix) is described by a Spec,
+// solved through the single context-aware entry point Solve (or a
+// reusable Solver session), and returned as a Solution that uniformly
+// exposes the throughput, the periodic schedule, the simulation model and
+// a serializable report.
+package steadystate
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"repro/internal/gossip"
+	"repro/internal/prefix"
+	"repro/internal/rat"
+	"repro/internal/reduce"
+	"repro/internal/scatter"
+)
+
+// Kind names a collective operation of the steady-state framework.
+type Kind string
+
+// The five collective kinds solvable through Solve.
+const (
+	// KindScatter: one source sends one distinct message per target per
+	// operation (paper Section 3).
+	KindScatter Kind = "scatter"
+	// KindGossip: personalized all-to-all — every source sends a distinct
+	// message to every target per operation (Section 3.5).
+	KindGossip Kind = "gossip"
+	// KindReduce: participants hold v_i; v_0 ⊕ … ⊕ v_N reaches the target
+	// (Section 4).
+	KindReduce Kind = "reduce"
+	// KindGather: a reduce whose operator is concatenation — partial
+	// results grow with the ranges they cover and merges are free
+	// (Section 4's non-commutative instantiation).
+	KindGather Kind = "gather"
+	// KindPrefix: every rank i receives the prefix v[0,i] (Section 6
+	// extension).
+	KindPrefix Kind = "prefix"
+)
+
+// Spec describes one collective instance on a platform: the kind plus the
+// participating nodes in the roles that kind requires. Fields not listed
+// for a kind are ignored:
+//
+//	KindScatter: Source, Targets
+//	KindGossip:  Sources, Targets
+//	KindReduce:  Order (Order[i] holds v_i), Target (must be in Order)
+//	KindGather:  Order, Target (must be in Order)
+//	KindPrefix:  Order
+//
+// Specs serialize to JSON with node IDs; IDs are stable across Platform
+// JSON round trips (nodes serialize in insertion order), so a Spec and
+// its Platform can travel together in a Scenario file.
+type Spec struct {
+	Kind    Kind
+	Source  NodeID
+	Sources []NodeID
+	Targets []NodeID
+	Order   []NodeID
+	Target  NodeID
+}
+
+// ScatterSpec returns the spec of a scatter from source to targets.
+func ScatterSpec(source NodeID, targets ...NodeID) Spec {
+	return Spec{Kind: KindScatter, Source: source, Targets: append([]NodeID(nil), targets...)}
+}
+
+// GossipSpec returns the spec of a personalized all-to-all from sources
+// to targets.
+func GossipSpec(sources, targets []NodeID) Spec {
+	return Spec{
+		Kind:    KindGossip,
+		Sources: append([]NodeID(nil), sources...),
+		Targets: append([]NodeID(nil), targets...),
+	}
+}
+
+// ReduceSpec returns the spec of a reduce over order (order[i] holds v_i)
+// delivering to target.
+func ReduceSpec(order []NodeID, target NodeID) Spec {
+	return Spec{Kind: KindReduce, Order: append([]NodeID(nil), order...), Target: target}
+}
+
+// GatherSpec returns the spec of a gather over order delivering to
+// target; set the per-participant block size with WithBlockSize.
+func GatherSpec(order []NodeID, target NodeID) Spec {
+	return Spec{Kind: KindGather, Order: append([]NodeID(nil), order...), Target: target}
+}
+
+// PrefixSpec returns the spec of a parallel prefix over order.
+func PrefixSpec(order ...NodeID) Spec {
+	return Spec{Kind: KindPrefix, Order: append([]NodeID(nil), order...)}
+}
+
+// jsonSpec is the serialized form: only the fields the kind uses are
+// emitted, and scalar node IDs travel as pointers so id 0 survives.
+type jsonSpec struct {
+	Kind    Kind     `json:"kind"`
+	Source  *NodeID  `json:"source,omitempty"`
+	Sources []NodeID `json:"sources,omitempty"`
+	Targets []NodeID `json:"targets,omitempty"`
+	Order   []NodeID `json:"order,omitempty"`
+	Target  *NodeID  `json:"target,omitempty"`
+}
+
+// MarshalJSON serializes the spec, emitting only the fields its kind
+// uses.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	js := jsonSpec{Kind: s.Kind}
+	switch s.Kind {
+	case KindScatter:
+		src := s.Source
+		js.Source = &src
+		js.Targets = s.Targets
+	case KindGossip:
+		js.Sources = s.Sources
+		js.Targets = s.Targets
+	case KindReduce, KindGather:
+		tgt := s.Target
+		js.Order = s.Order
+		js.Target = &tgt
+	case KindPrefix:
+		js.Order = s.Order
+	default:
+		return nil, fmt.Errorf("steadystate: cannot marshal spec of unknown kind %q", s.Kind)
+	}
+	return json.Marshal(js)
+}
+
+// UnmarshalJSON deserializes a spec produced by MarshalJSON.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	var js jsonSpec
+	if err := json.Unmarshal(data, &js); err != nil {
+		return err
+	}
+	*s = Spec{Kind: js.Kind, Sources: js.Sources, Targets: js.Targets, Order: js.Order}
+	if js.Source != nil {
+		s.Source = *js.Source
+	}
+	if js.Target != nil {
+		s.Target = *js.Target
+	}
+	return nil
+}
+
+// validate checks that every node the spec references exists on the
+// platform and that the kind-specific role constraints hold. Deeper
+// semantic validation (reachability, duplicates, routers) is delegated to
+// the per-kind problem constructors.
+func (s Spec) validate(p *Platform) error {
+	check := func(role string, ids ...NodeID) error {
+		for _, id := range ids {
+			if int(id) < 0 || int(id) >= p.NumNodes() {
+				return fmt.Errorf("steadystate: %s spec: %s references unknown node id %d (platform has %d nodes)",
+					s.Kind, role, int(id), p.NumNodes())
+			}
+		}
+		return nil
+	}
+	switch s.Kind {
+	case KindScatter:
+		if err := check("source", s.Source); err != nil {
+			return err
+		}
+		return check("targets", s.Targets...)
+	case KindGossip:
+		if err := check("sources", s.Sources...); err != nil {
+			return err
+		}
+		return check("targets", s.Targets...)
+	case KindReduce, KindGather:
+		if err := check("order", s.Order...); err != nil {
+			return err
+		}
+		if err := check("target", s.Target); err != nil {
+			return err
+		}
+		for _, id := range s.Order {
+			if id == s.Target {
+				return nil
+			}
+		}
+		return fmt.Errorf("steadystate: %s spec: target %s is not in the participant order",
+			s.Kind, p.Node(s.Target).Name)
+	case KindPrefix:
+		return check("order", s.Order...)
+	}
+	return fmt.Errorf("steadystate: unknown collective kind %q", s.Kind)
+}
+
+// SolveOption customizes a Solve call.
+type SolveOption func(*solveOptions)
+
+type solveOptions struct {
+	messageSize Rat
+	taskTime    func(NodeID, ReduceTask) Rat
+	blockSize   Rat
+	fixedPeriod *big.Int
+}
+
+// WithMessageSize sets a uniform partial-result size for reduce and
+// prefix solves (the paper's Figure 9 experiment uses size 10). Task
+// times derived from node speeds scale with it.
+func WithMessageSize(size Rat) SolveOption {
+	return func(o *solveOptions) { o.messageSize = rat.Copy(size) }
+}
+
+// WithTaskTime overrides w(P_i, T), the time for a node to run one merge
+// task, for reduce, gather and prefix solves.
+func WithTaskTime(f func(NodeID, ReduceTask) Rat) SolveOption {
+	return func(o *solveOptions) { o.taskTime = f }
+}
+
+// WithBlockSize sets the per-participant block size of a gather (partial
+// results have size (m−k+1)·blockSize). Defaults to 1.
+func WithBlockSize(size Rat) SolveOption {
+	return func(o *solveOptions) { o.blockSize = rat.Copy(size) }
+}
+
+// WithFixedPeriod truncates the reduce/gather tree family to the given
+// period (Section 4.6): Schedule returns the fixed-period schedule and
+// Report includes the approximation's throughput and loss.
+func WithFixedPeriod(period *big.Int) SolveOption {
+	return func(o *solveOptions) { o.fixedPeriod = new(big.Int).Set(period) }
+}
+
+// optionsFor materializes the options and rejects combinations the kind
+// does not support, so misuse fails loudly instead of being ignored.
+func optionsFor(kind Kind, opts []SolveOption) (*solveOptions, error) {
+	o := &solveOptions{}
+	for _, opt := range opts {
+		opt(o)
+	}
+	switch kind {
+	case KindScatter, KindGossip:
+		if o.messageSize != nil || o.taskTime != nil || o.blockSize != nil || o.fixedPeriod != nil {
+			return nil, fmt.Errorf("steadystate: %s solves take no options (message sizes are fixed by edge costs)", kind)
+		}
+	case KindReduce:
+		if o.blockSize != nil {
+			return nil, fmt.Errorf("steadystate: WithBlockSize applies only to %s specs", KindGather)
+		}
+	case KindGather:
+		if o.messageSize != nil {
+			return nil, fmt.Errorf("steadystate: use WithBlockSize (not WithMessageSize) for %s specs", KindGather)
+		}
+	case KindPrefix:
+		if o.blockSize != nil {
+			return nil, fmt.Errorf("steadystate: WithBlockSize applies only to %s specs", KindGather)
+		}
+		if o.fixedPeriod != nil {
+			return nil, fmt.Errorf("steadystate: WithFixedPeriod is not supported for %s specs", KindPrefix)
+		}
+	}
+	return o, nil
+}
+
+// ErrUnsupported marks a Solution capability a collective kind does not
+// provide (for example prefix solutions have no schedule construction in
+// the paper). Test with errors.Is.
+var ErrUnsupported = errors.New("steadystate: operation not supported for this collective kind")
+
+// Solution is a solved collective, whatever its kind. All arithmetic is
+// exact: Throughput and Period are bit-identical to the legacy per-kind
+// entry points. Capabilities a kind lacks return ErrUnsupported.
+type Solution interface {
+	// Kind returns the collective kind that was solved.
+	Kind() Kind
+	// Spec returns the spec the solution answers.
+	Spec() Spec
+	// Throughput returns TP, the optimal operations started per time unit.
+	Throughput() Rat
+	// Period returns the integer schedule period (LCM of denominators).
+	Period() *big.Int
+	// Schedule builds the concrete periodic schedule achieving TP.
+	Schedule() (*Schedule, error)
+	// SimModel builds the dynamic model of the buffered periodic protocol.
+	SimModel() (*SimModel, error)
+	// Report returns the serializable summary of the solution.
+	Report() (*Report, error)
+	// Verify re-checks the paper's constraints independently of the solver.
+	Verify() error
+	// Unwrap returns the kind-specific solution (*ScatterSolution,
+	// *GossipSolution, *ReduceSolution or *PrefixSolution).
+	Unwrap() any
+	// String renders the solution as the paper's figures do.
+	String() string
+}
+
+// Certified is implemented by reduce and gather solutions: Certificate
+// exposes the integer application and the weighted reduction-tree family
+// proving the throughput (Theorem 1).
+type Certified interface {
+	Certificate() (*ReduceApplication, []*ReductionTree, error)
+}
+
+// Solve computes the optimal steady-state throughput of the collective
+// described by spec on the platform, together with the machinery to turn
+// it into schedules, simulations and reports. It is the single entry
+// point for all five collective kinds; ctx cancels the exact simplex loop
+// between pivots.
+//
+// One-shot convenience for NewSolver(p).Solve(ctx, spec, opts...): use a
+// Solver session when solving repeatedly on one platform.
+func Solve(ctx context.Context, p *Platform, spec Spec, opts ...SolveOption) (Solution, error) {
+	return NewSolver(p).Solve(ctx, spec, opts...)
+}
+
+// Solver is a solving session bound to one platform. It is safe for
+// concurrent use and reuses per-platform state across solves — the
+// reachability index behind problem validation and LP variable pruning is
+// computed once per source node and shared — so sweeps that solve many
+// specs on the same platform are faster than repeated cold Solve calls.
+// The platform must not be mutated while the session is in use.
+type Solver struct {
+	p *Platform
+}
+
+// NewSolver returns a solving session for the platform.
+func NewSolver(p *Platform) *Solver {
+	if p == nil {
+		panic("steadystate: NewSolver on nil platform")
+	}
+	return &Solver{p: p}
+}
+
+// Platform returns the platform the session solves on.
+func (s *Solver) Platform() *Platform { return s.p }
+
+// Solve solves one spec on the session's platform. See the package-level
+// Solve for semantics.
+func (s *Solver) Solve(ctx context.Context, spec Spec, opts ...SolveOption) (Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o, err := optionsFor(spec.Kind, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.validate(s.p); err != nil {
+		return nil, err
+	}
+
+	switch spec.Kind {
+	case KindScatter:
+		pr, err := scatter.NewProblem(s.p, spec.Source, spec.Targets)
+		if err != nil {
+			return nil, err
+		}
+		sol, err := pr.SolveCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &scatterSolution{spec: spec, sol: sol}, nil
+
+	case KindGossip:
+		pr, err := gossip.NewProblem(s.p, spec.Sources, spec.Targets)
+		if err != nil {
+			return nil, err
+		}
+		sol, err := pr.SolveCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &gossipSolution{spec: spec, sol: sol}, nil
+
+	case KindReduce, KindGather:
+		var pr *ReduceProblem
+		if spec.Kind == KindGather {
+			block := o.blockSize
+			if block == nil {
+				block = rat.One()
+			}
+			pr, err = reduce.NewGatherProblem(s.p, spec.Order, spec.Target, block)
+		} else {
+			pr, err = reduce.NewProblem(s.p, spec.Order, spec.Target)
+			if err == nil && o.messageSize != nil {
+				size := rat.Copy(o.messageSize)
+				pr.SizeOf = func(ReduceRange) Rat { return size }
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		if o.taskTime != nil {
+			pr.TaskTime = o.taskTime
+		}
+		sol, err := pr.SolveCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &reduceSolution{spec: spec, sol: sol, fixed: o.fixedPeriod}, nil
+
+	case KindPrefix:
+		pr, err := prefix.NewProblem(s.p, spec.Order)
+		if err != nil {
+			return nil, err
+		}
+		if o.messageSize != nil {
+			size := rat.Copy(o.messageSize)
+			pr.SizeOf = func(ReduceRange) Rat { return size }
+		}
+		if o.taskTime != nil {
+			pr.TaskTime = o.taskTime
+		}
+		sol, err := pr.SolveCtx(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &prefixSolution{spec: spec, sol: sol}, nil
+	}
+	return nil, fmt.Errorf("steadystate: unknown collective kind %q", spec.Kind)
+}
+
+// ---------------------------------------------------------------------------
+// Kind-specific Solution implementations
+
+type scatterSolution struct {
+	spec Spec
+	sol  *ScatterSolution
+}
+
+func (s *scatterSolution) Kind() Kind                   { return KindScatter }
+func (s *scatterSolution) Spec() Spec                   { return s.spec }
+func (s *scatterSolution) Throughput() Rat              { return s.sol.Throughput() }
+func (s *scatterSolution) Period() *big.Int             { return s.sol.Period() }
+func (s *scatterSolution) Schedule() (*Schedule, error) { return ScatterSchedule(s.sol) }
+func (s *scatterSolution) SimModel() (*SimModel, error) { return ScatterSimModel(s.sol), nil }
+func (s *scatterSolution) Verify() error                { return s.sol.Verify() }
+func (s *scatterSolution) Unwrap() any                  { return s.sol }
+func (s *scatterSolution) String() string               { return s.sol.String() }
+func (s *scatterSolution) Report() (*Report, error) {
+	return newReport(KindScatter, s.sol.Throughput(), s.sol.Period(), s.sol.Stats), nil
+}
+
+type gossipSolution struct {
+	spec Spec
+	sol  *GossipSolution
+}
+
+func (s *gossipSolution) Kind() Kind                   { return KindGossip }
+func (s *gossipSolution) Spec() Spec                   { return s.spec }
+func (s *gossipSolution) Throughput() Rat              { return s.sol.Throughput() }
+func (s *gossipSolution) Period() *big.Int             { return s.sol.Period() }
+func (s *gossipSolution) Schedule() (*Schedule, error) { return GossipSchedule(s.sol) }
+func (s *gossipSolution) SimModel() (*SimModel, error) { return GossipSimModel(s.sol), nil }
+func (s *gossipSolution) Verify() error                { return s.sol.Verify() }
+func (s *gossipSolution) Unwrap() any                  { return s.sol }
+func (s *gossipSolution) String() string               { return s.sol.String() }
+func (s *gossipSolution) Report() (*Report, error) {
+	return newReport(KindGossip, s.sol.Throughput(), s.sol.Period(), s.sol.Stats), nil
+}
+
+type reduceSolution struct {
+	spec  Spec
+	sol   *ReduceSolution
+	fixed *big.Int
+
+	once  sync.Once
+	app   *ReduceApplication
+	trees []*ReductionTree
+	plan  *FixedPeriodPlan
+	err   error
+}
+
+// certify lazily integerizes the solution and extracts its tree family
+// (plus the fixed-period plan when requested), caching the result.
+func (s *reduceSolution) certify() {
+	s.once.Do(func() {
+		s.app = s.sol.Integerize()
+		s.trees, s.err = s.app.ExtractTrees()
+		if s.err == nil && s.fixed != nil {
+			s.plan, s.err = ApproximateFixedPeriod(s.app, s.trees, s.fixed)
+		}
+	})
+}
+
+func (s *reduceSolution) Kind() Kind       { return s.spec.Kind }
+func (s *reduceSolution) Spec() Spec       { return s.spec }
+func (s *reduceSolution) Throughput() Rat  { return s.sol.Throughput() }
+func (s *reduceSolution) Period() *big.Int { return s.sol.Period() }
+func (s *reduceSolution) Verify() error    { return s.sol.Verify() }
+func (s *reduceSolution) Unwrap() any      { return s.sol }
+func (s *reduceSolution) String() string   { return s.sol.String() }
+
+// Certificate returns the integer application and the reduction-tree
+// family certifying the throughput (Theorem 1).
+func (s *reduceSolution) Certificate() (*ReduceApplication, []*ReductionTree, error) {
+	s.certify()
+	if s.err != nil {
+		return nil, nil, s.err
+	}
+	return s.app, s.trees, nil
+}
+
+func (s *reduceSolution) Schedule() (*Schedule, error) {
+	s.certify()
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.plan != nil {
+		return ReduceSchedule(s.app, s.plan.Trees, s.plan.Period)
+	}
+	return ReduceSchedule(s.app, s.trees, nil)
+}
+
+func (s *reduceSolution) SimModel() (*SimModel, error) {
+	s.certify()
+	if s.err != nil {
+		return nil, s.err
+	}
+	return ReduceSimModel(s.app), nil
+}
+
+func (s *reduceSolution) Report() (*Report, error) {
+	s.certify()
+	if s.err != nil {
+		return nil, s.err
+	}
+	r := newReport(s.spec.Kind, s.sol.Throughput(), s.sol.Period(), s.sol.Stats)
+	r.Trees = len(s.trees)
+	if s.plan != nil {
+		r.FixedPeriod = s.plan.Period.String()
+		r.FixedThroughput = s.plan.Throughput.RatString()
+		r.FixedLoss = s.plan.Loss.RatString()
+	}
+	return r, nil
+}
+
+type prefixSolution struct {
+	spec Spec
+	sol  *PrefixSolution
+}
+
+func (s *prefixSolution) Kind() Kind       { return KindPrefix }
+func (s *prefixSolution) Spec() Spec       { return s.spec }
+func (s *prefixSolution) Throughput() Rat  { return s.sol.Throughput() }
+func (s *prefixSolution) Period() *big.Int { return s.sol.Period() }
+func (s *prefixSolution) Verify() error    { return s.sol.Verify() }
+func (s *prefixSolution) Unwrap() any      { return s.sol }
+func (s *prefixSolution) String() string   { return s.sol.String() }
+func (s *prefixSolution) Schedule() (*Schedule, error) {
+	return nil, fmt.Errorf("prefix schedule construction: %w", ErrUnsupported)
+}
+func (s *prefixSolution) SimModel() (*SimModel, error) {
+	return nil, fmt.Errorf("prefix protocol simulation: %w", ErrUnsupported)
+}
+func (s *prefixSolution) Report() (*Report, error) {
+	return newReport(KindPrefix, s.sol.Throughput(), s.sol.Period(), s.sol.Stats), nil
+}

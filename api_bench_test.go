@@ -1,0 +1,65 @@
+// Benchmarks for the solver-session acceptance criterion: on a
+// repeated-sweep workload, reusing a Solver session must be no slower
+// than cold solves (target: faster, because the per-platform reachability
+// index is built once instead of per solve).
+//
+// Compare with:
+//
+//	go test -bench 'SweepCold|SweepSession' -run xxx .
+package steadystate_test
+
+import (
+	"context"
+	"testing"
+
+	steadystate "repro"
+)
+
+// sweepSpecs is the repeated-sweep workload: every participant scatters
+// to its three successors, the pattern of the topology scaling runs.
+func sweepSpecs(p *steadystate.Platform) []steadystate.Spec {
+	parts := p.Participants()
+	specs := make([]steadystate.Spec, 0, len(parts))
+	for i := range parts {
+		targets := []steadystate.NodeID{
+			parts[(i+1)%len(parts)],
+			parts[(i+2)%len(parts)],
+			parts[(i+3)%len(parts)],
+		}
+		specs = append(specs, steadystate.ScatterSpec(parts[i], targets...))
+	}
+	return specs
+}
+
+// BenchmarkScatterSweepCold rebuilds the platform for every solve: no
+// state is shared between solves.
+func BenchmarkScatterSweepCold(b *testing.B) {
+	cfg := steadystate.DefaultTiersConfig(11)
+	specs := sweepSpecs(steadystate.Tiers(cfg))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, spec := range specs {
+			p := steadystate.Tiers(cfg)
+			if _, err := steadystate.Solve(context.Background(), p, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkScatterSweepSession runs the identical sweep through one
+// Solver session on one platform.
+func BenchmarkScatterSweepSession(b *testing.B) {
+	cfg := steadystate.DefaultTiersConfig(11)
+	p := steadystate.Tiers(cfg)
+	specs := sweepSpecs(p)
+	solver := steadystate.NewSolver(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, spec := range specs {
+			if _, err := solver.Solve(context.Background(), spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,453 @@
+// Tests for the unified Collective API: equivalence with the legacy
+// per-kind entry points on the paper platforms, error paths, context
+// cancellation, and the Spec/Scenario/Report serialization formats.
+package steadystate_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/big"
+	"sync"
+	"testing"
+
+	steadystate "repro"
+)
+
+func ratEq(t *testing.T, got steadystate.Rat, want string, what string) {
+	t.Helper()
+	if got.RatString() != want {
+		t.Errorf("%s = %s, want %s", what, got.RatString(), want)
+	}
+}
+
+// TestSolveEquivalenceFig2Scatter: the unified entry point and the legacy
+// wrapper must produce bit-exact identical throughputs on the paper's
+// Figure 2 scatter.
+func TestSolveEquivalenceFig2Scatter(t *testing.T) {
+	p, src, targets := steadystate.PaperFig2()
+	sol, err := steadystate.Solve(context.Background(), p, steadystate.ScatterSpec(src, targets...))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	legacy, err := steadystate.SolveScatter(p, src, targets)
+	if err != nil {
+		t.Fatalf("SolveScatter: %v", err)
+	}
+	ratEq(t, sol.Throughput(), "1/2", "Solve fig2 TP")
+	if sol.Throughput().Cmp(legacy.Throughput()) != 0 {
+		t.Errorf("Solve TP %s != SolveScatter TP %s",
+			sol.Throughput().RatString(), legacy.Throughput().RatString())
+	}
+	if sol.Period().Cmp(legacy.Period()) != 0 {
+		t.Errorf("Solve period %s != legacy period %s", sol.Period(), legacy.Period())
+	}
+	if sol.Kind() != steadystate.KindScatter {
+		t.Errorf("Kind = %q", sol.Kind())
+	}
+	if err := sol.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	if _, ok := sol.Unwrap().(*steadystate.ScatterSolution); !ok {
+		t.Errorf("Unwrap returned %T", sol.Unwrap())
+	}
+}
+
+// TestSolveEquivalenceFig6ReduceAndPrefix checks the reduce and prefix
+// kinds on the Figure 6 triangle.
+func TestSolveEquivalenceFig6ReduceAndPrefix(t *testing.T) {
+	p, order, target := steadystate.PaperFig6()
+	rsol, err := steadystate.Solve(context.Background(), p, steadystate.ReduceSpec(order, target))
+	if err != nil {
+		t.Fatalf("Solve reduce: %v", err)
+	}
+	legacy, err := steadystate.SolveReduce(p, order, target)
+	if err != nil {
+		t.Fatalf("SolveReduce: %v", err)
+	}
+	ratEq(t, rsol.Throughput(), "1", "Solve fig6 reduce TP")
+	if rsol.Throughput().Cmp(legacy.Throughput()) != 0 {
+		t.Error("reduce throughput mismatch between Solve and SolveReduce")
+	}
+
+	psol, err := steadystate.Solve(context.Background(), p, steadystate.PrefixSpec(order...))
+	if err != nil {
+		t.Fatalf("Solve prefix: %v", err)
+	}
+	plegacy, err := steadystate.SolvePrefix(p, order)
+	if err != nil {
+		t.Fatalf("SolvePrefix: %v", err)
+	}
+	if psol.Throughput().Cmp(plegacy.Throughput()) != 0 {
+		t.Errorf("prefix throughput mismatch: %s vs %s",
+			psol.Throughput().RatString(), plegacy.Throughput().RatString())
+	}
+}
+
+// TestSolveEquivalenceFig9Reduce runs the headline Tiers experiment
+// through both paths: Solve + WithMessageSize versus the legacy
+// problem-level customization.
+func TestSolveEquivalenceFig9Reduce(t *testing.T) {
+	p, order, target := steadystate.PaperFig9()
+	size := steadystate.PaperFig9MessageSize()
+
+	sol, err := steadystate.Solve(context.Background(), p,
+		steadystate.ReduceSpec(order, target), steadystate.WithMessageSize(size))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+
+	pr, err := steadystate.NewReduceProblem(p, order, target)
+	if err != nil {
+		t.Fatalf("NewReduceProblem: %v", err)
+	}
+	pr.SizeOf = func(steadystate.ReduceRange) steadystate.Rat { return size }
+	legacy, err := pr.Solve()
+	if err != nil {
+		t.Fatalf("legacy solve: %v", err)
+	}
+
+	if sol.Throughput().Cmp(legacy.Throughput()) != 0 {
+		t.Errorf("fig9 TP mismatch: Solve %s vs legacy %s",
+			sol.Throughput().RatString(), legacy.Throughput().RatString())
+	}
+	if sol.Period().Cmp(legacy.Period()) != 0 {
+		t.Errorf("fig9 period mismatch: %s vs %s", sol.Period(), legacy.Period())
+	}
+}
+
+// TestSolveEquivalenceGossip checks gossip through both paths on a ring.
+func TestSolveEquivalenceGossip(t *testing.T) {
+	p := steadystate.Ring(4, steadystate.R(1, 2), steadystate.R(1, 1))
+	var nodes []steadystate.NodeID
+	for _, n := range p.Nodes() {
+		nodes = append(nodes, n.ID)
+	}
+	sol, err := steadystate.Solve(context.Background(), p, steadystate.GossipSpec(nodes, nodes))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	legacy, err := steadystate.SolveGossip(p, nodes, nodes)
+	if err != nil {
+		t.Fatalf("SolveGossip: %v", err)
+	}
+	if sol.Throughput().Cmp(legacy.Throughput()) != 0 {
+		t.Errorf("gossip TP mismatch: %s vs %s",
+			sol.Throughput().RatString(), legacy.Throughput().RatString())
+	}
+	if sol.Throughput().Sign() <= 0 {
+		t.Error("gossip TP must be positive")
+	}
+}
+
+// TestSolveGatherEquivalence checks the gather kind against the legacy
+// gather problem constructor.
+func TestSolveGatherEquivalence(t *testing.T) {
+	p := steadystate.Chain(3, steadystate.R(1, 2), steadystate.R(1, 1))
+	order := p.Participants()
+	block := steadystate.R(2, 1)
+
+	sol, err := steadystate.Solve(context.Background(), p,
+		steadystate.GatherSpec(order, order[0]), steadystate.WithBlockSize(block))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	pr, err := steadystate.NewGatherProblem(p, order, order[0], block)
+	if err != nil {
+		t.Fatalf("NewGatherProblem: %v", err)
+	}
+	legacy, err := pr.Solve()
+	if err != nil {
+		t.Fatalf("legacy solve: %v", err)
+	}
+	if sol.Throughput().Cmp(legacy.Throughput()) != 0 {
+		t.Errorf("gather TP mismatch: %s vs %s",
+			sol.Throughput().RatString(), legacy.Throughput().RatString())
+	}
+	if sol.Kind() != steadystate.KindGather {
+		t.Errorf("Kind = %q", sol.Kind())
+	}
+}
+
+// TestSolutionUniformSurface exercises Schedule/SimModel/Report on every
+// kind that supports them and checks prefix reports ErrUnsupported.
+func TestSolutionUniformSurface(t *testing.T) {
+	ctx := context.Background()
+	p, src, targets := steadystate.PaperFig2()
+	p6, order, target := steadystate.PaperFig6()
+
+	solve := func(p *steadystate.Platform, spec steadystate.Spec) steadystate.Solution {
+		t.Helper()
+		sol, err := steadystate.Solve(ctx, p, spec)
+		if err != nil {
+			t.Fatalf("Solve %s: %v", spec.Kind, err)
+		}
+		return sol
+	}
+
+	for _, sol := range []steadystate.Solution{
+		solve(p, steadystate.ScatterSpec(src, targets...)),
+		solve(p6, steadystate.ReduceSpec(order, target)),
+		solve(p6, steadystate.GossipSpec(order, order)),
+	} {
+		sched, err := sol.Schedule()
+		if err != nil {
+			t.Fatalf("%s Schedule: %v", sol.Kind(), err)
+		}
+		if err := sched.Verify(); err != nil {
+			t.Errorf("%s schedule invalid: %v", sol.Kind(), err)
+		}
+		m, err := sol.SimModel()
+		if err != nil {
+			t.Fatalf("%s SimModel: %v", sol.Kind(), err)
+		}
+		res, err := steadystate.Simulate(m, 50)
+		if err != nil {
+			t.Fatalf("%s Simulate: %v", sol.Kind(), err)
+		}
+		if res.MinDelivered().Sign() <= 0 {
+			t.Errorf("%s simulation delivered nothing", sol.Kind())
+		}
+		rep, err := sol.Report()
+		if err != nil {
+			t.Fatalf("%s Report: %v", sol.Kind(), err)
+		}
+		if rep.Throughput != sol.Throughput().RatString() || rep.Kind != sol.Kind() {
+			t.Errorf("%s report out of sync: %+v", sol.Kind(), rep)
+		}
+	}
+
+	psol := solve(p6, steadystate.PrefixSpec(order...))
+	if _, err := psol.Schedule(); !errors.Is(err, steadystate.ErrUnsupported) {
+		t.Errorf("prefix Schedule error = %v, want ErrUnsupported", err)
+	}
+	if _, err := psol.SimModel(); !errors.Is(err, steadystate.ErrUnsupported) {
+		t.Errorf("prefix SimModel error = %v, want ErrUnsupported", err)
+	}
+	if _, err := psol.Report(); err != nil {
+		t.Errorf("prefix Report: %v", err)
+	}
+}
+
+// TestSolveErrorPaths covers the validation errors of the unified entry
+// point.
+func TestSolveErrorPaths(t *testing.T) {
+	ctx := context.Background()
+	p, src, targets := steadystate.PaperFig2()
+	p6, order, target := steadystate.PaperFig6()
+
+	cases := []struct {
+		name string
+		p    *steadystate.Platform
+		spec steadystate.Spec
+		opts []steadystate.SolveOption
+	}{
+		{"unknown source id", p, steadystate.ScatterSpec(steadystate.NodeID(99), targets...), nil},
+		{"unknown target id", p, steadystate.ScatterSpec(src, steadystate.NodeID(-1)), nil},
+		{"empty targets", p, steadystate.ScatterSpec(src), nil},
+		{"duplicate targets", p, steadystate.ScatterSpec(src, targets[0], targets[0]), nil},
+		{"unknown order id", p6, steadystate.ReduceSpec([]steadystate.NodeID{order[0], 99}, target), nil},
+		{"target not in order", p6, steadystate.ReduceSpec(order[:2], order[2]), nil},
+		{"unknown kind", p6, steadystate.Spec{Kind: "allreduce", Order: order}, nil},
+		{"empty kind", p6, steadystate.Spec{}, nil},
+		{"gossip no sources", p6, steadystate.GossipSpec(nil, order), nil},
+		{"prefix single participant", p6, steadystate.PrefixSpec(order[0]), nil},
+		{"scatter rejects message size", p, steadystate.ScatterSpec(src, targets...),
+			[]steadystate.SolveOption{steadystate.WithMessageSize(steadystate.R(2, 1))}},
+		{"reduce rejects block size", p6, steadystate.ReduceSpec(order, target),
+			[]steadystate.SolveOption{steadystate.WithBlockSize(steadystate.R(2, 1))}},
+		{"gather rejects message size", p6, steadystate.GatherSpec(order, target),
+			[]steadystate.SolveOption{steadystate.WithMessageSize(steadystate.R(2, 1))}},
+		{"prefix rejects fixed period", p6, steadystate.PrefixSpec(order...),
+			[]steadystate.SolveOption{steadystate.WithFixedPeriod(big.NewInt(10))}},
+	}
+	for _, tc := range cases {
+		if _, err := steadystate.Solve(ctx, tc.p, tc.spec, tc.opts...); err == nil {
+			t.Errorf("%s: Solve succeeded, want error", tc.name)
+		}
+	}
+}
+
+// TestSolveCanceledContext: a canceled context must abort the solve with
+// an error wrapping context.Canceled, and a deadline must likewise
+// propagate.
+func TestSolveCanceledContext(t *testing.T) {
+	p, order, target := steadystate.PaperFig9()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := steadystate.Solve(ctx, p, steadystate.ReduceSpec(order, target),
+		steadystate.WithMessageSize(steadystate.PaperFig9MessageSize()))
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Solve error = %v, want context.Canceled", err)
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), 0)
+	defer dcancel()
+	_, err = steadystate.Solve(dctx, p, steadystate.ReduceSpec(order, target))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Solve error = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestSolverSessionConcurrent solves several specs concurrently through
+// one session; run under -race this pins the concurrency-safety claim.
+func TestSolverSessionConcurrent(t *testing.T) {
+	p, order, target := steadystate.PaperFig6()
+	solver := steadystate.NewSolver(p)
+	specs := []steadystate.Spec{
+		steadystate.ReduceSpec(order, target),
+		steadystate.PrefixSpec(order...),
+		steadystate.GossipSpec(order, order),
+		steadystate.ScatterSpec(order[0], order[1], order[2]),
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(specs))
+	for i, spec := range specs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sol, err := solver.Solve(context.Background(), spec)
+			if err == nil && sol.Throughput().Sign() <= 0 {
+				err = errors.New("non-positive throughput")
+			}
+			errs[i] = err
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("spec %s: %v", specs[i].Kind, err)
+		}
+	}
+}
+
+// TestSolverSessionMatchesColdSolves: a session's results must be
+// bit-identical to one-shot solves.
+func TestSolverSessionMatchesColdSolves(t *testing.T) {
+	p := steadystate.Tiers(steadystate.DefaultTiersConfig(23))
+	parts := p.Participants()
+	solver := steadystate.NewSolver(p)
+	for i := 0; i < 3; i++ {
+		spec := steadystate.ScatterSpec(parts[i], parts[i+1], parts[i+2])
+		warm, err := solver.Solve(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("session solve %d: %v", i, err)
+		}
+		cold, err := steadystate.Solve(context.Background(),
+			steadystate.Tiers(steadystate.DefaultTiersConfig(23)), spec)
+		if err != nil {
+			t.Fatalf("cold solve %d: %v", i, err)
+		}
+		if warm.Throughput().Cmp(cold.Throughput()) != 0 {
+			t.Errorf("solve %d: session TP %s != cold TP %s",
+				i, warm.Throughput().RatString(), cold.Throughput().RatString())
+		}
+	}
+}
+
+// TestSpecJSONRoundTrip serializes every kind of spec and checks the
+// round trip, including node id 0 in scalar roles.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	specs := []steadystate.Spec{
+		steadystate.ScatterSpec(0, 1, 2),
+		steadystate.GossipSpec([]steadystate.NodeID{0, 1}, []steadystate.NodeID{2, 3}),
+		steadystate.ReduceSpec([]steadystate.NodeID{0, 1, 2}, 0),
+		steadystate.GatherSpec([]steadystate.NodeID{2, 1, 0}, 2),
+		steadystate.PrefixSpec(0, 1, 2),
+	}
+	for _, spec := range specs {
+		data, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", spec.Kind, err)
+		}
+		var back steadystate.Spec
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", spec.Kind, err)
+		}
+		if back.Kind != spec.Kind || back.Source != spec.Source || back.Target != spec.Target ||
+			len(back.Sources) != len(spec.Sources) || len(back.Targets) != len(spec.Targets) ||
+			len(back.Order) != len(spec.Order) {
+			t.Errorf("%s: round trip changed spec: %+v vs %+v", spec.Kind, back, spec)
+		}
+	}
+	if _, err := json.Marshal(steadystate.Spec{Kind: "bogus"}); err == nil {
+		t.Error("marshal of unknown kind should fail")
+	}
+}
+
+// TestScenarioRoundTrip: a platform+spec scenario file must survive JSON
+// and still solve to the identical throughput.
+func TestScenarioRoundTrip(t *testing.T) {
+	p, order, target := steadystate.PaperFig6()
+	sc := &steadystate.Scenario{Platform: p, Spec: steadystate.ReduceSpec(order, target)}
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back steadystate.Scenario
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	sol, err := back.Solve(context.Background())
+	if err != nil {
+		t.Fatalf("solve round-tripped scenario: %v", err)
+	}
+	ratEq(t, sol.Throughput(), "1", "round-tripped fig6 TP")
+
+	if err := json.Unmarshal([]byte(`{"spec":{"kind":"scatter"}}`), &back); err == nil {
+		t.Error("scenario without platform should fail to parse")
+	}
+}
+
+// TestFixedPeriodOption: WithFixedPeriod shapes the schedule and the
+// report.
+func TestFixedPeriodOption(t *testing.T) {
+	p, order, target := steadystate.PaperFig6()
+	sol, err := steadystate.Solve(context.Background(), p,
+		steadystate.ReduceSpec(order, target), steadystate.WithFixedPeriod(big.NewInt(30)))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	sched, err := sol.Schedule()
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := sched.Verify(); err != nil {
+		t.Errorf("fixed-period schedule invalid: %v", err)
+	}
+	rep, err := sol.Report()
+	if err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	if rep.FixedPeriod != "30" || rep.FixedThroughput == "" || rep.FixedLoss == "" {
+		t.Errorf("report missing fixed-period fields: %+v", rep)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("report marshal: %v", err)
+	}
+	var back steadystate.Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report unmarshal: %v", err)
+	}
+	if back != *rep {
+		t.Errorf("report round trip changed: %+v vs %+v", back, *rep)
+	}
+}
+
+// TestCertificateMatchesLegacyTreeExtraction: the Certified surface must
+// agree with the legacy Integerize/ExtractTrees path.
+func TestCertificateMatchesLegacyTreeExtraction(t *testing.T) {
+	p, order, target := steadystate.PaperFig6()
+	sol, err := steadystate.Solve(context.Background(), p, steadystate.ReduceSpec(order, target))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	app, trees, err := sol.(steadystate.Certified).Certificate()
+	if err != nil {
+		t.Fatalf("Certificate: %v", err)
+	}
+	if err := steadystate.VerifyTreeDecomposition(app, trees); err != nil {
+		t.Errorf("certificate decomposition invalid: %v", err)
+	}
+}

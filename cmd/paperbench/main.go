@@ -2,16 +2,20 @@
 // (Legrand/Marchal/Robert, IPPS 2004) as text tables: the figure-by-figure
 // results, the asymptotic-optimality convergence of Propositions 1 and 3,
 // the fixed-period approximation sweep of Section 4.6, baseline
-// comparisons, and solver scaling. EXPERIMENTS.md records the paper-vs-
-// measured comparison produced by this harness.
+// comparisons, solver scaling, and solver-session reuse. EXPERIMENTS.md
+// records the paper-vs-measured comparison produced by this harness.
 //
 // Usage:
 //
-//	paperbench            # run everything
-//	paperbench -run fig9  # run one experiment (fig2|fig3|fig4|fig6|fig7|fig9|prop1|prop3|prop4|gossip|prefix|baseline|scaling)
+//	paperbench                      # run everything
+//	paperbench -run fig9            # run one experiment (fig2|fig3|fig4|fig6|fig7|fig9|prop1|prop3|prop4|gossip|prefix|baseline|scaling|session)
+//	paperbench -timeout 30s         # bound every solve with a deadline
+//	paperbench -scenario work.json  # solve one scenario file, print its report JSON
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,9 +31,28 @@ import (
 // out is the report destination; tests point it at a buffer.
 var out io.Writer = os.Stdout
 
+// ctx bounds every solve of the harness; -timeout installs a deadline.
+var ctx = context.Background()
+
 func main() {
 	run := flag.String("run", "", "run a single experiment by id (default: all)")
+	timeout := flag.Duration("timeout", 0, "deadline for every solve (0: none)")
+	scenario := flag.String("scenario", "", "solve one scenario JSON file and print its report")
 	flag.Parse()
+
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *scenario != "" {
+		if err := runScenario(*scenario); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	experiments := []struct {
 		id string
@@ -38,7 +61,7 @@ func main() {
 		{"fig2", fig2}, {"fig3", fig3}, {"fig4", fig4}, {"fig6", fig6},
 		{"fig7", fig7}, {"fig9", fig9}, {"prop1", prop1}, {"prop3", prop3},
 		{"prop4", prop4}, {"gossip", gossipExp}, {"prefix", prefixExp},
-		{"baseline", baselineExp}, {"scaling", scaling},
+		{"baseline", baselineExp}, {"scaling", scaling}, {"session", sessionExp},
 	}
 	any := false
 	for _, e := range experiments {
@@ -55,6 +78,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n", *run)
 		os.Exit(1)
 	}
+}
+
+// runScenario solves a scenario file and prints its report JSON — the
+// file-composition path: topogen -spec → paperbench -scenario.
+func runScenario(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var sc steadystate.Scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	sol, err := sc.Solve(ctx)
+	if err != nil {
+		return err
+	}
+	rep, err := sol.Report()
+	if err != nil {
+		return err
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s\n", enc)
+	return nil
 }
 
 func banner(id string) {
@@ -77,7 +127,7 @@ func f(r steadystate.Rat) float64 {
 // fig2: toy scatter — paper reports TP = 1/2 with multi-route m0.
 func fig2() {
 	p, src, targets := steadystate.PaperFig2()
-	sol := must(steadystate.SolveScatter(p, src, targets))
+	sol := must(steadystate.Solve(ctx, p, steadystate.ScatterSpec(src, targets...)))
 	fmt.Fprintf(out, "paper: TP = 1/2 (one scatter every two time units)\n")
 	fmt.Fprintf(out, "ours:  TP = %s\n", sol.Throughput().RatString())
 	fmt.Fprint(out, sol.String())
@@ -86,20 +136,18 @@ func fig2() {
 // fig3: the bipartite matchings of the Fig-2 period — paper finds 4.
 func fig3() {
 	p, src, targets := steadystate.PaperFig2()
-	sol := must(steadystate.SolveScatter(p, src, targets))
-	sched := must(steadystate.ScatterSchedule(sol))
+	sol := must(steadystate.Solve(ctx, p, steadystate.ScatterSpec(src, targets...)))
+	sched := must(sol.Schedule())
 	fmt.Fprintf(out, "paper: 4 matchings tile the period\n")
 	fmt.Fprintf(out, "ours:  %d matchings, busy %s of period %s\n",
 		len(sched.Slots), sched.BusyTime().RatString(), sched.Period.RatString())
-	_ = p
 }
 
 // fig4: the concrete schedules — split (exact period) and unsplit.
 func fig4() {
 	p, src, targets := steadystate.PaperFig2()
-	_ = p
-	sol := must(steadystate.SolveScatter(p, src, targets))
-	sched := must(steadystate.ScatterSchedule(sol))
+	sol := must(steadystate.Solve(ctx, p, steadystate.ScatterSpec(src, targets...)))
+	sched := must(sol.Schedule())
 	fmt.Fprintf(out, "paper: period 12 with split messages; period 48 without\n")
 	fmt.Fprintf(out, "ours (split allowed, period %s):\n%s", sched.Period.RatString(), sched.Gantt())
 	un := sched.Unsplit()
@@ -109,23 +157,24 @@ func fig4() {
 // fig6: toy reduce — paper reports TP = 1 (period 3, three ops).
 func fig6() {
 	p, order, target := steadystate.PaperFig6()
-	sol := must(steadystate.SolveReduce(p, order, target))
+	sol := must(steadystate.Solve(ctx, p, steadystate.ReduceSpec(order, target)))
+	rep := must(sol.Report())
 	fmt.Fprintf(out, "paper: TP = 1 (three reduces every three time units)\n")
 	fmt.Fprintf(out, "ours:  TP = %s  (LP: %d vars, %d constraints, %d pivots)\n",
-		sol.Throughput().RatString(), sol.Stats.Vars, sol.Stats.Constraints, sol.Stats.Pivots)
+		rep.Throughput, rep.LPVars, rep.LPConstraints, rep.LPPivots)
 	fmt.Fprint(out, sol.String())
 }
 
 // fig7: reduction trees of the Fig-6 solution — paper finds two (1/3, 2/3).
 func fig7() {
 	p, order, target := steadystate.PaperFig6()
-	sol := must(steadystate.SolveReduce(p, order, target))
-	app := sol.Integerize()
-	trees := must(app.ExtractTrees())
+	sol := must(steadystate.Solve(ctx, p, steadystate.ReduceSpec(order, target)))
+	app, trees, err := sol.(steadystate.Certified).Certificate()
+	must(0, err)
 	fmt.Fprintf(out, "paper: 2 trees with throughputs 1/3 and 2/3\n")
 	fmt.Fprintf(out, "ours:  %d tree(s) covering %s ops per period %s\n",
 		len(trees), app.Ops.String(), app.Period.String())
-	pr := must(steadystate.NewReduceProblem(p, order, target))
+	pr := sol.Unwrap().(*steadystate.ReduceSolution).Problem
 	for _, tr := range trees {
 		fmt.Fprint(out, tr.String(pr))
 	}
@@ -134,23 +183,24 @@ func fig7() {
 // fig9: the Tiers experiment — paper reports TP = 2/9 and two trees.
 func fig9() {
 	p, order, target := steadystate.PaperFig9()
-	pr := must(steadystate.NewReduceProblem(p, order, target))
-	size := steadystate.PaperFig9MessageSize()
-	pr.SizeOf = func(steadystate.ReduceRange) steadystate.Rat { return size }
 	start := time.Now()
-	sol := must(pr.Solve())
+	sol := must(steadystate.Solve(ctx, p, steadystate.ReduceSpec(order, target),
+		steadystate.WithMessageSize(steadystate.PaperFig9MessageSize())))
+	solveTime := time.Since(start) // LP solve only: Report() would add tree extraction
+	rep := must(sol.Report())
 	fmt.Fprintf(out, "paper: TP = 2/9 ≈ 0.2222 (exact bandwidths not recoverable; see DESIGN.md)\n")
 	fmt.Fprintf(out, "ours:  TP = %s ≈ %.4f  (LP: %d vars, %d constraints, %d pivots, %v)\n",
-		sol.Throughput().RatString(), f(sol.Throughput()),
-		sol.Stats.Vars, sol.Stats.Constraints, sol.Stats.Pivots, time.Since(start).Round(time.Millisecond))
-	app := sol.Integerize()
-	trees := must(app.ExtractTrees())
+		rep.Throughput, rep.ThroughputFloat,
+		rep.LPVars, rep.LPConstraints, rep.LPPivots, solveTime.Round(time.Millisecond))
+	app, trees, err := sol.(steadystate.Certified).Certificate()
+	must(0, err)
 	fmt.Fprintf(out, "paper: 2 reduction trees of weight 1/9 each (figs 11-12)\n")
 	fmt.Fprintf(out, "ours:  %d reduction tree(s), weights:", len(trees))
 	for _, tr := range trees {
 		fmt.Fprintf(out, " %s/%s", tr.Weight.String(), app.Period.String())
 	}
 	fmt.Fprintln(out)
+	pr := sol.Unwrap().(*steadystate.ReduceSolution).Problem
 	for i, tr := range trees {
 		fmt.Fprintf(out, "--- tree %d ---\n%s", i+1, tr.String(pr))
 	}
@@ -159,30 +209,27 @@ func fig9() {
 // prop1: asymptotic optimality of the scatter protocol.
 func prop1() {
 	p, src, targets := steadystate.PaperFig2()
-	_ = p
-	sol := must(steadystate.SolveScatter(p, src, targets))
-	m := steadystate.ScatterSimModel(sol)
-	fmt.Fprintf(out, "%-10s %-14s %-14s %s\n", "periods", "delivered", "bound TP*K", "ratio")
-	for _, periods := range []int{10, 50, 100, 500, 1000, 5000} {
-		res := must(steadystate.Simulate(m, periods))
-		k := new(big.Int).Mul(big.NewInt(int64(periods)), m.Period)
-		bound := new(big.Rat).Mul(sol.Throughput(), new(big.Rat).SetInt(k))
-		ratio := new(big.Rat).Quo(new(big.Rat).SetInt(res.MinDelivered()), bound)
-		fmt.Fprintf(out, "%-10d %-14s %-14s %.6f\n", periods, res.MinDelivered(), bound.RatString(), f(ratio))
-	}
+	sol := must(steadystate.Solve(ctx, p, steadystate.ScatterSpec(src, targets...)))
+	m := must(sol.SimModel())
+	convergenceTable(m, sol.Throughput())
 }
 
 // prop3: asymptotic optimality of the reduce protocol.
 func prop3() {
 	p, order, target := steadystate.PaperFig6()
-	sol := must(steadystate.SolveReduce(p, order, target))
-	app := sol.Integerize()
-	m := steadystate.ReduceSimModel(app)
+	sol := must(steadystate.Solve(ctx, p, steadystate.ReduceSpec(order, target)))
+	m := must(sol.SimModel())
+	convergenceTable(m, sol.Throughput())
+}
+
+// convergenceTable simulates the buffered protocol and reports the
+// delivered/bound ratio converging to 1.
+func convergenceTable(m *steadystate.SimModel, tp steadystate.Rat) {
 	fmt.Fprintf(out, "%-10s %-14s %-14s %s\n", "periods", "delivered", "bound TP*K", "ratio")
 	for _, periods := range []int{10, 50, 100, 500, 1000, 5000} {
 		res := must(steadystate.Simulate(m, periods))
 		k := new(big.Int).Mul(big.NewInt(int64(periods)), m.Period)
-		bound := new(big.Rat).Mul(sol.Throughput(), new(big.Rat).SetInt(k))
+		bound := new(big.Rat).Mul(tp, new(big.Rat).SetInt(k))
 		ratio := new(big.Rat).Quo(new(big.Rat).SetInt(res.MinDelivered()), bound)
 		fmt.Fprintf(out, "%-10d %-14s %-14s %.6f\n", periods, res.MinDelivered(), bound.RatString(), f(ratio))
 	}
@@ -191,12 +238,10 @@ func prop3() {
 // prop4: fixed-period truncation sweep on the Fig-9 trees.
 func prop4() {
 	p, order, target := steadystate.PaperFig9()
-	pr := must(steadystate.NewReduceProblem(p, order, target))
-	size := steadystate.PaperFig9MessageSize()
-	pr.SizeOf = func(steadystate.ReduceRange) steadystate.Rat { return size }
-	sol := must(pr.Solve())
-	app := sol.Integerize()
-	trees := must(app.ExtractTrees())
+	sol := must(steadystate.Solve(ctx, p, steadystate.ReduceSpec(order, target),
+		steadystate.WithMessageSize(steadystate.PaperFig9MessageSize())))
+	app, trees, err := sol.(steadystate.Certified).Certificate()
+	must(0, err)
 	fmt.Fprintf(out, "TP = %s, %d trees, exact period %s\n", sol.Throughput().RatString(), len(trees), app.Period.String())
 	fmt.Fprintf(out, "%-10s %-16s %-16s %s\n", "T_fixed", "throughput", "loss", "bound card/T")
 	for _, fixed := range []int64{5, 10, 50, 100, 1000, 10000} {
@@ -211,10 +256,11 @@ func prop4() {
 func gossipExp() {
 	p := steadystate.Tiers(steadystate.DefaultTiersConfig(17))
 	parts := p.Participants()
-	sol := must(steadystate.SolveGossip(p, parts[:3], parts[len(parts)-3:]))
+	sol := must(steadystate.Solve(ctx, p, steadystate.GossipSpec(parts[:3], parts[len(parts)-3:])))
+	rep := must(sol.Report())
 	fmt.Fprintf(out, "tiers 3x3 gossip: TP = %s ≈ %.5f (LP %d vars, %d constraints)\n",
-		sol.Throughput().RatString(), f(sol.Throughput()), sol.Stats.Vars, sol.Stats.Constraints)
-	sched := must(steadystate.GossipSchedule(sol))
+		rep.Throughput, rep.ThroughputFloat, rep.LPVars, rep.LPConstraints)
+	sched := must(sol.Schedule())
 	fmt.Fprintf(out, "schedule: %d slots, busy %s of period %s\n",
 		len(sched.Slots), sched.BusyTime().RatString(), sched.Period.RatString())
 }
@@ -222,7 +268,7 @@ func gossipExp() {
 // prefixExp: the Section 6 extension on the Fig-6 triangle.
 func prefixExp() {
 	p, order, _ := steadystate.PaperFig6()
-	sol := must(steadystate.SolvePrefix(p, order))
+	sol := must(steadystate.Solve(ctx, p, steadystate.PrefixSpec(order...)))
 	fmt.Fprintf(out, "fig6 triangle parallel prefix: TP = %s\n", sol.Throughput().RatString())
 	fmt.Fprint(out, sol.String())
 }
@@ -232,7 +278,7 @@ func baselineExp() {
 	// Scatter on Fig 2.
 	{
 		p, src, targets := steadystate.PaperFig2()
-		lpSol := must(steadystate.SolveScatter(p, src, targets))
+		lpSol := must(steadystate.Solve(ctx, p, steadystate.ScatterSpec(src, targets...)))
 		base := must(steadystate.SinglePathScatter(p, src, targets))
 		fmt.Fprintf(out, "%-28s %-12s %-12s %s\n", "scatter fig2", "LP", "single-path", "LP/single")
 		ratio := new(big.Rat).Quo(lpSol.Throughput(), base.Throughput)
@@ -242,10 +288,12 @@ func baselineExp() {
 	// Reduce on Fig 9.
 	{
 		p, order, target := steadystate.PaperFig9()
+		lpSol := must(steadystate.Solve(ctx, p, steadystate.ReduceSpec(order, target),
+			steadystate.WithMessageSize(steadystate.PaperFig9MessageSize())))
+		// Baselines evaluate fixed plans on the same sized problem.
 		pr := must(steadystate.NewReduceProblem(p, order, target))
 		size := steadystate.PaperFig9MessageSize()
 		pr.SizeOf = func(steadystate.ReduceRange) steadystate.Rat { return size }
-		lpSol := must(pr.Solve())
 		flat := must(steadystate.FlatReduceTree(pr))
 		bin := must(steadystate.BinaryReduceTree(pr))
 		fmt.Fprintf(out, "%-28s %-12s %-12s %-12s\n", "reduce fig9", "LP", "flat-tree", "binary-tree")
@@ -266,10 +314,12 @@ func scaling() {
 		p := steadystate.Tiers(cfg)
 		parts := p.Participants()
 		start := time.Now()
-		sol := must(steadystate.SolveScatter(p, parts[0], parts[1:]))
+		sol := must(steadystate.Solve(ctx, p, steadystate.ScatterSpec(parts[0], parts[1:]...)))
+		solveTime := time.Since(start)
+		rep := must(sol.Report())
 		fmt.Fprintf(out, "scatter-tiers-%-9d %-8d %-8d %-8d %-10v %s\n", nLans,
-			sol.Stats.Vars, sol.Stats.Constraints, sol.Stats.Pivots,
-			time.Since(start).Round(time.Millisecond), sol.Throughput().RatString())
+			rep.LPVars, rep.LPConstraints, rep.LPPivots,
+			solveTime.Round(time.Millisecond), rep.Throughput)
 	}
 	for _, nParts := range []int{3, 4, 5, 6} {
 		p := topology.Chain(nParts, steadystate.R(1, 2), steadystate.R(1, 1))
@@ -278,9 +328,81 @@ func scaling() {
 			order = append(order, n.ID)
 		}
 		start := time.Now()
-		sol := must(steadystate.SolveReduce(p, order, order[0]))
+		sol := must(steadystate.Solve(ctx, p, steadystate.ReduceSpec(order, order[0])))
+		solveTime := time.Since(start)
+		rep := must(sol.Report())
 		fmt.Fprintf(out, "reduce-chain-%-9d %-8d %-8d %-8d %-10v %s\n", nParts,
-			sol.Stats.Vars, sol.Stats.Constraints, sol.Stats.Pivots,
-			time.Since(start).Round(time.Millisecond), sol.Throughput().RatString())
+			rep.LPVars, rep.LPConstraints, rep.LPPivots,
+			solveTime.Round(time.Millisecond), rep.Throughput)
 	}
+}
+
+// sessionExp: a repeated-sweep workload — every participant of one Tiers
+// platform scatters to three peers — solved twice: cold (fresh platform
+// state per solve) and through one Solver session (shared reachability
+// index). The sweep is the access pattern of paperbench itself and of the
+// topology scaling runs.
+func sessionExp() {
+	cfg := steadystate.DefaultTiersConfig(11)
+	specs := func(p *steadystate.Platform) []steadystate.Spec {
+		parts := p.Participants()
+		var out []steadystate.Spec
+		for i := range parts {
+			var targets []steadystate.NodeID
+			for d := 1; d <= 3; d++ {
+				targets = append(targets, parts[(i+d)%len(parts)])
+			}
+			out = append(out, steadystate.ScatterSpec(parts[i], targets...))
+		}
+		return out
+	}
+
+	runCold := func() []steadystate.Rat {
+		var tps []steadystate.Rat
+		for _, spec := range specs(steadystate.Tiers(cfg)) {
+			// Rebuild the platform per solve: no shared state at all.
+			sol := must(steadystate.Solve(ctx, steadystate.Tiers(cfg), spec))
+			tps = append(tps, sol.Throughput())
+		}
+		return tps
+	}
+	p := steadystate.Tiers(cfg)
+	solver := steadystate.NewSolver(p)
+	runSession := func() []steadystate.Rat {
+		var tps []steadystate.Rat
+		for _, spec := range specs(p) {
+			sol := must(solver.Solve(ctx, spec))
+			tps = append(tps, sol.Throughput())
+		}
+		return tps
+	}
+
+	// Interleaved best-of-3: a single back-to-back pair is dominated by
+	// allocator and GC noise at these solve sizes.
+	var coldTPs, sessTPs []steadystate.Rat
+	var cold, sess time.Duration
+	for round := 0; round < 3; round++ {
+		start := time.Now()
+		coldTPs = runCold()
+		if d := time.Since(start); round == 0 || d < cold {
+			cold = d
+		}
+		start = time.Now()
+		sessTPs = runSession()
+		if d := time.Since(start); round == 0 || d < sess {
+			sess = d
+		}
+	}
+
+	for i, coldTP := range coldTPs {
+		if coldTP.Cmp(sessTPs[i]) != 0 {
+			fmt.Fprintf(out, "MISMATCH on spec %d: cold %s vs session %s\n",
+				i, coldTP.RatString(), sessTPs[i].RatString())
+			return
+		}
+	}
+	fmt.Fprintf(out, "sweep of %d scatter solves on one tiers platform:\n", len(specs(p)))
+	fmt.Fprintf(out, "  cold solves:    %v\n", cold.Round(time.Millisecond))
+	fmt.Fprintf(out, "  solver session: %v (%.2fx)\n", sess.Round(time.Millisecond),
+		float64(cold)/float64(sess))
 }

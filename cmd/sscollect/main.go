@@ -1,19 +1,27 @@
-// Command sscollect solves a steady-state collective on a platform file
-// and prints the optimal throughput, the LP solution, and optionally the
-// periodic schedule, extracted reduction trees, and a protocol simulation.
+// Command sscollect solves a steady-state collective on a platform or
+// scenario file and prints the optimal throughput, the LP solution, and
+// optionally the periodic schedule, extracted reduction trees, a protocol
+// simulation, and a machine-readable report.
 //
 // Usage:
 //
 //	sscollect -platform p.json -op scatter -source n0 -targets n1,n2
 //	sscollect -platform p.json -op gossip  -sources n0,n1 -targets n2,n3
 //	sscollect -platform p.json -op reduce  -order n0,n1,n2 -target n0 -trees -schedule
-//	sscollect -platform p.json -op prefix  -order n0,n1,n2 -simulate 100
+//	sscollect -platform p.json -op gather  -order n0,n1,n2 -target n0 -blocksize 2
+//	sscollect -platform p.json -op prefix  -order n0,n1,n2
+//	sscollect -platform scenario.json -report report.json
 //
-// Omit -platform to use the paper's figure platforms: -platform fig2|fig6|fig9.
+// A scenario file (cmd/topogen -spec) carries both the platform and the
+// collective spec, so -op and the role flags become optional overrides.
+// Omit -platform to use the paper's figure platforms: -platform
+// fig2|fig6|fig9.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -36,26 +44,36 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sscollect", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		platformFile = fs.String("platform", "", "platform JSON file, or fig2|fig6|fig9")
-		op           = fs.String("op", "scatter", "collective: scatter|gossip|reduce|prefix")
+		platformFile = fs.String("platform", "", "platform or scenario JSON file, or fig2|fig6|fig9")
+		op           = fs.String("op", "", "collective: scatter|gossip|reduce|gather|prefix (default: the scenario's spec, else scatter)")
 		source       = fs.String("source", "", "scatter source node name")
 		sources      = fs.String("sources", "", "gossip source names, comma separated")
 		targets      = fs.String("targets", "", "scatter/gossip target names, comma separated")
-		order        = fs.String("order", "", "reduce/prefix participant names in rank order")
-		target       = fs.String("target", "", "reduce target node name")
-		size         = fs.String("size", "1", "uniform message size (reduce/prefix)")
+		order        = fs.String("order", "", "reduce/gather/prefix participant names in rank order")
+		target       = fs.String("target", "", "reduce/gather target node name")
+		size         = fs.String("size", "1", "uniform message size (reduce)")
+		blockSize    = fs.String("blocksize", "1", "per-participant block size (gather)")
+		fixedPeriod  = fs.Int64("fixedperiod", 0, "truncate the reduce tree family to this period (Section 4.6)")
 		showSched    = fs.Bool("schedule", false, "print the periodic schedule (Gantt)")
-		showTrees    = fs.Bool("trees", false, "print extracted reduction trees (reduce)")
+		showTrees    = fs.Bool("trees", false, "print extracted reduction trees (reduce/gather)")
 		simulate     = fs.Int("simulate", 0, "simulate the protocol for N periods")
 		latency      = fs.Bool("latency", false, "with -simulate: also report per-operation pipeline latency")
+		reportFile   = fs.String("report", "", "write the solution summary as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	p, figSource, figTargets, figOrder, figTarget, err := loadPlatform(*platformFile)
+	sc, err := loadScenario(*platformFile)
 	if err != nil {
 		return err
+	}
+	p, spec := sc.Platform, sc.Spec
+	if *op != "" {
+		spec.Kind = steadystate.Kind(*op)
+	}
+	if spec.Kind == "" {
+		spec.Kind = steadystate.KindScatter
 	}
 
 	var lookupErr error
@@ -76,156 +94,147 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return out
 	}
+	if *source != "" {
+		spec.Source = lookup(*source)
+	}
+	if *sources != "" {
+		spec.Sources = lookupList(*sources)
+	}
+	if *targets != "" {
+		spec.Targets = lookupList(*targets)
+	}
+	if *order != "" {
+		spec.Order = lookupList(*order)
+	}
+	if *target != "" {
+		spec.Target = lookup(*target)
+	}
+	if lookupErr != nil {
+		return lookupErr
+	}
 
-	switch *op {
-	case "scatter":
-		src := figSource
-		tgt := figTargets
-		if *source != "" {
-			src = lookup(*source)
-		}
-		if *targets != "" {
-			tgt = lookupList(*targets)
-		}
-		if lookupErr != nil {
-			return lookupErr
-		}
-		sol, err := steadystate.SolveScatter(p, src, tgt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(stdout, sol.String())
-		if *showSched {
-			sched, err := steadystate.ScatterSchedule(sol)
-			if err != nil {
-				return fmt.Errorf("schedule: %w", err)
-			}
-			fmt.Fprint(stdout, sched.Gantt())
-		}
-		if *simulate > 0 {
-			return simReport(stdout, steadystate.ScatterSimModel(sol), *simulate, sol.Throughput(), *latency)
-		}
-
-	case "gossip":
-		if *sources == "" || *targets == "" {
-			return fmt.Errorf("gossip needs -sources and -targets")
-		}
-		srcs := lookupList(*sources)
-		tgts := lookupList(*targets)
-		if lookupErr != nil {
-			return lookupErr
-		}
-		sol, err := steadystate.SolveGossip(p, srcs, tgts)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(stdout, sol.String())
-		if *showSched {
-			sched, err := steadystate.GossipSchedule(sol)
-			if err != nil {
-				return fmt.Errorf("schedule: %w", err)
-			}
-			fmt.Fprint(stdout, sched.Gantt())
-		}
-		if *simulate > 0 {
-			return simReport(stdout, steadystate.GossipSimModel(sol), *simulate, sol.Throughput(), *latency)
-		}
-
-	case "reduce":
-		ord := figOrder
-		tgt := figTarget
-		if *order != "" {
-			ord = lookupList(*order)
-		}
-		if *target != "" {
-			tgt = lookup(*target)
-		}
-		if lookupErr != nil {
-			return lookupErr
-		}
-		pr, err := steadystate.NewReduceProblem(p, ord, tgt)
-		if err != nil {
-			return err
-		}
+	var opts []steadystate.SolveOption
+	switch spec.Kind {
+	case steadystate.KindReduce:
 		sz, err := steadystate.ParseRat(*size)
 		if err != nil {
 			return fmt.Errorf("bad -size: %w", err)
 		}
-		pr.SizeOf = func(steadystate.ReduceRange) steadystate.Rat { return sz }
-		sol, err := pr.Solve()
+		opts = append(opts, steadystate.WithMessageSize(sz))
+	case steadystate.KindGather:
+		bs, err := steadystate.ParseRat(*blockSize)
 		if err != nil {
-			return err
+			return fmt.Errorf("bad -blocksize: %w", err)
 		}
-		fmt.Fprint(stdout, sol.String())
-		app := sol.Integerize()
-		trees, err := app.ExtractTrees()
+		opts = append(opts, steadystate.WithBlockSize(bs))
+	}
+	if *fixedPeriod < 0 {
+		return fmt.Errorf("bad -fixedperiod: %d is not a positive period", *fixedPeriod)
+	}
+	if *fixedPeriod > 0 {
+		opts = append(opts, steadystate.WithFixedPeriod(big.NewInt(*fixedPeriod)))
+	}
+
+	sol, err := steadystate.Solve(context.Background(), p, spec, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, sol.String())
+
+	if c, ok := sol.(steadystate.Certified); ok {
+		app, trees, err := c.Certificate()
 		if err != nil {
 			return fmt.Errorf("trees: %w", err)
 		}
 		fmt.Fprintf(stdout, "%d reduction trees cover %s operations per period %s\n",
 			len(trees), app.Ops.String(), app.Period.String())
 		if *showTrees {
+			pr := sol.Unwrap().(*steadystate.ReduceSolution).Problem
 			for _, tr := range trees {
 				fmt.Fprint(stdout, tr.String(pr))
 			}
 		}
-		if *showSched {
-			sched, err := steadystate.ReduceSchedule(app, trees, nil)
-			if err != nil {
-				return fmt.Errorf("schedule: %w", err)
-			}
+	}
+
+	if *showSched {
+		sched, err := sol.Schedule()
+		switch {
+		case errors.Is(err, steadystate.ErrUnsupported):
+			fmt.Fprintf(stderr, "sscollect: no schedule construction for %s; skipping -schedule\n", spec.Kind)
+		case err != nil:
+			return fmt.Errorf("schedule: %w", err)
+		default:
 			fmt.Fprint(stdout, sched.Gantt())
 		}
-		if *simulate > 0 {
-			return simReport(stdout, steadystate.ReduceSimModel(app), *simulate, sol.Throughput(), *latency)
-		}
+	}
 
-	case "prefix":
-		ord := figOrder
-		if *order != "" {
-			ord = lookupList(*order)
+	if *simulate > 0 {
+		m, err := sol.SimModel()
+		switch {
+		case errors.Is(err, steadystate.ErrUnsupported):
+			fmt.Fprintf(stderr, "sscollect: no protocol simulation for %s; skipping -simulate\n", spec.Kind)
+		case err != nil:
+			return fmt.Errorf("simulation model: %w", err)
+		default:
+			if err := simReport(stdout, m, *simulate, sol.Throughput(), *latency); err != nil {
+				return err
+			}
 		}
-		if lookupErr != nil {
-			return lookupErr
+	}
+
+	if *reportFile != "" {
+		rep, err := sol.Report()
+		if err != nil {
+			return fmt.Errorf("report: %w", err)
 		}
-		sol, err := steadystate.SolvePrefix(p, ord)
+		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(stdout, sol.String())
-
-	default:
-		return fmt.Errorf("unknown -op %q", *op)
+		if err := os.WriteFile(*reportFile, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", *reportFile, err)
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", *reportFile)
 	}
 	return nil
 }
 
-// loadPlatform loads a JSON platform or one of the canned figure
-// platforms, returning figure defaults where applicable.
-func loadPlatform(spec string) (p *steadystate.Platform, src steadystate.NodeID,
-	targets []steadystate.NodeID, order []steadystate.NodeID, target steadystate.NodeID, err error) {
+// loadScenario loads a scenario or bare-platform JSON file, or one of the
+// canned figure platforms with their canonical specs.
+func loadScenario(spec string) (*steadystate.Scenario, error) {
 	switch spec {
 	case "fig2":
-		p, src, targets = steadystate.PaperFig2()
-		return p, src, targets, nil, 0, nil
+		p, src, targets := steadystate.PaperFig2()
+		return &steadystate.Scenario{Platform: p, Spec: steadystate.ScatterSpec(src, targets...)}, nil
 	case "fig6":
-		p, order, target = steadystate.PaperFig6()
-		return p, 0, nil, order, target, nil
+		p, order, target := steadystate.PaperFig6()
+		return &steadystate.Scenario{Platform: p, Spec: steadystate.ReduceSpec(order, target)}, nil
 	case "fig9":
-		p, order, target = steadystate.PaperFig9()
-		return p, 0, nil, order, target, nil
+		p, order, target := steadystate.PaperFig9()
+		return &steadystate.Scenario{Platform: p, Spec: steadystate.ReduceSpec(order, target)}, nil
 	case "":
-		return nil, 0, nil, nil, 0, fmt.Errorf("need -platform (a JSON file or fig2|fig6|fig9)")
+		return nil, fmt.Errorf("need -platform (a JSON file or fig2|fig6|fig9)")
 	}
 	data, err := os.ReadFile(spec)
 	if err != nil {
-		return nil, 0, nil, nil, 0, fmt.Errorf("read %s: %w", spec, err)
+		return nil, fmt.Errorf("read %s: %w", spec, err)
 	}
-	p = steadystate.NewPlatform()
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", spec, err)
+	}
+	if _, ok := probe["platform"]; ok {
+		sc := &steadystate.Scenario{}
+		if err := json.Unmarshal(data, sc); err != nil {
+			return nil, fmt.Errorf("parse scenario %s: %w", spec, err)
+		}
+		return sc, nil
+	}
+	p := steadystate.NewPlatform()
 	if err := json.Unmarshal(data, p); err != nil {
-		return nil, 0, nil, nil, 0, fmt.Errorf("parse %s: %w", spec, err)
+		return nil, fmt.Errorf("parse %s: %w", spec, err)
 	}
-	return p, 0, nil, nil, 0, nil
+	return &steadystate.Scenario{Platform: p}, nil
 }
 
 func simReport(stdout io.Writer, m *steadystate.SimModel, periods int, tp steadystate.Rat, latency bool) error {

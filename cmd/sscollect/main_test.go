@@ -120,7 +120,69 @@ func TestLoadPlatformBadJSON(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, _, _, err := loadPlatform(path); err == nil {
+	if _, err := loadScenario(path); err == nil {
 		t.Error("bad JSON accepted")
+	}
+}
+
+func TestScenarioFileCarriesSpec(t *testing.T) {
+	// A scenario file supplies both platform and spec: no role flags
+	// needed.
+	p := steadystate.NewPlatform()
+	a := p.AddNode("a", steadystate.R(1, 1))
+	b := p.AddNode("b", steadystate.R(1, 1))
+	c := p.AddNode("c", steadystate.R(1, 1))
+	p.AddLink(a, b, steadystate.R(1, 1))
+	p.AddLink(b, c, steadystate.R(1, 1))
+	sc := &steadystate.Scenario{Platform: p, Spec: steadystate.ScatterSpec(a, b, c)}
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runOK(t, "-platform", path)
+	if !strings.Contains(out, "scatter throughput") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestGatherOnFile(t *testing.T) {
+	path := writeTriangle(t)
+	out := runOK(t, "-platform", path, "-op", "gather", "-order", "a,b,c", "-target", "a", "-blocksize", "2", "-trees")
+	for _, want := range []string{"reduce throughput", "reduction trees cover"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportFile(t *testing.T) {
+	report := filepath.Join(t.TempDir(), "report.json")
+	runOK(t, "-platform", "fig6", "-op", "reduce", "-fixedperiod", "30", "-report", report)
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep steadystate.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Kind != steadystate.KindReduce || rep.Throughput != "1" {
+		t.Errorf("report = %+v, want reduce with TP 1", rep)
+	}
+	if rep.FixedPeriod != "30" || rep.FixedThroughput == "" {
+		t.Errorf("report missing fixed-period fields: %+v", rep)
+	}
+}
+
+func TestPrefixScheduleUnsupportedIsNotFatal(t *testing.T) {
+	// -schedule and -simulate on a prefix solve degrade to a notice; the
+	// solve itself still succeeds.
+	out := runOK(t, "-platform", "fig6", "-op", "prefix", "-schedule", "-simulate", "10")
+	if !strings.Contains(out, "prefix throughput") {
+		t.Errorf("output:\n%s", out)
 	}
 }

@@ -8,8 +8,13 @@
 //	topogen -kind tiers -seed 42 -out platform.json
 //	topogen -kind star -n 8
 //	topogen -kind fig9 -dot
+//	topogen -kind tiers -spec -op reduce -out scenario.json
 //
 // Kinds: star, chain, ring, grid, tree, connected, tiers, fig2, fig6, fig9.
+//
+// With -spec the output is a scenario file — the platform plus the spec
+// of a collective to solve on it (-op scatter|gossip|reduce|gather|prefix)
+// — which cmd/sscollect and cmd/paperbench consume directly.
 package main
 
 import (
@@ -35,16 +40,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		kind  = fs.String("kind", "tiers", "topology kind: star|chain|ring|grid|tree|connected|tiers|fig2|fig6|fig9")
-		n     = fs.Int("n", 8, "node count (star/chain/ring/tree/connected)")
-		rows  = fs.Int("rows", 3, "grid rows")
-		cols  = fs.Int("cols", 3, "grid cols")
-		seed  = fs.Int64("seed", 1, "random seed")
-		extra = fs.Float64("extra", 0.5, "extra edges per node (connected)")
-		cost  = fs.String("cost", "1", "uniform link cost (regular families)")
-		speed = fs.String("speed", "1", "uniform node speed (regular families)")
-		out   = fs.String("out", "", "output file (default stdout)")
-		dot   = fs.Bool("dot", false, "emit Graphviz DOT instead of JSON")
+		kind     = fs.String("kind", "tiers", "topology kind: star|chain|ring|grid|tree|connected|tiers|fig2|fig6|fig9")
+		n        = fs.Int("n", 8, "node count (star/chain/ring/tree/connected)")
+		rows     = fs.Int("rows", 3, "grid rows")
+		cols     = fs.Int("cols", 3, "grid cols")
+		seed     = fs.Int64("seed", 1, "random seed")
+		extra    = fs.Float64("extra", 0.5, "extra edges per node (connected)")
+		cost     = fs.String("cost", "1", "uniform link cost (regular families)")
+		speed    = fs.String("speed", "1", "uniform node speed (regular families)")
+		out      = fs.String("out", "", "output file (default stdout)")
+		dot      = fs.Bool("dot", false, "emit Graphviz DOT instead of JSON")
+		withSpec = fs.Bool("spec", false, "emit a scenario (platform + collective spec) instead of a bare platform")
+		op       = fs.String("op", "", "collective kind for -spec: scatter|gossip|reduce|gather|prefix (default: the figure's canonical collective, else scatter)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +67,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	var p *steadystate.Platform
+	// Figure platforms carry canonical roles for spec emission.
+	var figSpec *steadystate.Spec
 	// The paper's figure platforms are intentionally one-directional
 	// (scatter-only edges), which the mutual-connectivity check rejects.
 	validate := true
@@ -79,12 +88,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	case "tiers":
 		p = steadystate.Tiers(steadystate.DefaultTiersConfig(*seed))
 	case "fig2":
-		p, _, _ = steadystate.PaperFig2()
+		var src steadystate.NodeID
+		var tgts []steadystate.NodeID
+		p, src, tgts = steadystate.PaperFig2()
+		s := steadystate.ScatterSpec(src, tgts...)
+		figSpec = &s
 		validate = false
 	case "fig6":
-		p, _, _ = steadystate.PaperFig6()
+		var order []steadystate.NodeID
+		var tgt steadystate.NodeID
+		p, order, tgt = steadystate.PaperFig6()
+		s := steadystate.ReduceSpec(order, tgt)
+		figSpec = &s
 	case "fig9":
-		p, _, _ = steadystate.PaperFig9()
+		var order []steadystate.NodeID
+		var tgt steadystate.NodeID
+		p, order, tgt = steadystate.PaperFig9()
+		s := steadystate.ReduceSpec(order, tgt)
+		figSpec = &s
 	default:
 		return fmt.Errorf("unknown -kind %q", *kind)
 	}
@@ -95,9 +116,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	var data []byte
-	if *dot {
+	switch {
+	case *dot:
 		data = []byte(p.DOT())
-	} else {
+	case *withSpec:
+		spec, err := defaultSpec(p, steadystate.Kind(*op), figSpec)
+		if err != nil {
+			return err
+		}
+		sc := &steadystate.Scenario{Platform: p, Spec: spec}
+		data, err = json.Marshal(sc)
+		if err != nil {
+			return fmt.Errorf("marshal scenario: %w", err)
+		}
+		data = append(data, '\n')
+	default:
 		data, err = json.Marshal(p)
 		if err != nil {
 			return fmt.Errorf("marshal: %w", err)
@@ -113,4 +146,51 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stderr, "wrote %s (%d nodes, %d edges)\n", *out, p.NumNodes(), p.NumEdges())
 	return nil
+}
+
+// defaultSpec builds the scenario spec for a generated platform: the
+// figure platforms keep their canonical roles (re-kinded when -op asks
+// for a different collective over the same participants), every other
+// platform uses its participants in ID order.
+func defaultSpec(p *steadystate.Platform, kind steadystate.Kind, figSpec *steadystate.Spec) (steadystate.Spec, error) {
+	if figSpec != nil {
+		spec := *figSpec
+		if kind != "" && kind != spec.Kind {
+			// Re-target the canonical roles at the requested collective.
+			parts := specParticipants(spec)
+			return rolesFor(kind, parts)
+		}
+		return spec, nil
+	}
+	return rolesFor(kind, p.Participants())
+}
+
+// specParticipants lists the nodes a figure spec involves, in role order.
+func specParticipants(spec steadystate.Spec) []steadystate.NodeID {
+	if spec.Kind == steadystate.KindScatter {
+		return append([]steadystate.NodeID{spec.Source}, spec.Targets...)
+	}
+	return spec.Order
+}
+
+// rolesFor assigns the default roles of a collective over the listed
+// participants: the first node sources/collects, the rest follow in
+// order.
+func rolesFor(kind steadystate.Kind, parts []steadystate.NodeID) (steadystate.Spec, error) {
+	if len(parts) < 2 {
+		return steadystate.Spec{}, fmt.Errorf("platform has %d participants, need at least 2 for a spec", len(parts))
+	}
+	switch kind {
+	case steadystate.KindScatter, "":
+		return steadystate.ScatterSpec(parts[0], parts[1:]...), nil
+	case steadystate.KindGossip:
+		return steadystate.GossipSpec(parts, parts), nil
+	case steadystate.KindReduce:
+		return steadystate.ReduceSpec(parts, parts[0]), nil
+	case steadystate.KindGather:
+		return steadystate.GatherSpec(parts, parts[0]), nil
+	case steadystate.KindPrefix:
+		return steadystate.PrefixSpec(parts...), nil
+	}
+	return steadystate.Spec{}, fmt.Errorf("unknown -op %q", kind)
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -63,12 +64,46 @@ func TestAllKinds(t *testing.T) {
 	}
 }
 
+func TestEmitScenario(t *testing.T) {
+	for _, op := range []string{"scatter", "gossip", "reduce", "gather", "prefix"} {
+		out, _ := runOK(t, "-kind", "ring", "-n", "4", "-spec", "-op", op)
+		var sc steadystate.Scenario
+		if err := json.Unmarshal([]byte(out), &sc); err != nil {
+			t.Fatalf("op %s: output is not a scenario: %v", op, err)
+		}
+		if sc.Spec.Kind != steadystate.Kind(op) {
+			t.Errorf("op %s: spec kind = %q", op, sc.Spec.Kind)
+		}
+		// The emitted scenario must solve as-is — the file is the
+		// interface between topogen and sscollect.
+		if _, err := sc.Solve(context.Background()); err != nil {
+			t.Errorf("op %s: scenario does not solve: %v", op, err)
+		}
+	}
+}
+
+func TestEmitScenarioFigureKeepsCanonicalRoles(t *testing.T) {
+	out, _ := runOK(t, "-kind", "fig6", "-spec", "-op", "reduce")
+	var sc steadystate.Scenario
+	if err := json.Unmarshal([]byte(out), &sc); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := sc.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Throughput().RatString() != "1" {
+		t.Errorf("fig6 scenario TP = %s, want 1", sol.Throughput().RatString())
+	}
+}
+
 func TestErrors(t *testing.T) {
 	cases := [][]string{
 		{"-kind", "nope"},
 		{"-cost", "garbage"},
 		{"-speed", "garbage"},
 		{"-badflag"},
+		{"-kind", "star", "-n", "4", "-spec", "-op", "nope"},
 	}
 	for _, args := range cases {
 		var out, errOut bytes.Buffer

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/big"
@@ -41,7 +42,7 @@ func buildPlatform(bridges []int) (*steadystate.Platform, []steadystate.NodeID) 
 
 func solveTP(bridges []int) steadystate.Rat {
 	p, all := buildPlatform(bridges)
-	sol, err := steadystate.SolveGossip(p, all, all)
+	sol, err := steadystate.Solve(context.Background(), p, steadystate.GossipSpec(all, all))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func solveTP(bridges []int) steadystate.Rat {
 
 func main() {
 	p, all := buildPlatform([]int{0, 1, 2})
-	sol, err := steadystate.SolveGossip(p, all, all)
+	sol, err := steadystate.Solve(context.Background(), p, steadystate.GossipSpec(all, all))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func main() {
 		sol.Throughput().RatString())
 	fmt.Printf("(each operation moves %d distinct blocks, 18 of them cross-cluster)\n\n", 6*5)
 
-	sched, err := steadystate.GossipSchedule(sol)
+	sched, err := sol.Schedule()
 	if err != nil {
 		log.Fatal(err)
 	}

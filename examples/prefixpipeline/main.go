@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,7 @@ func main() {
 	p.AddLink(order[2], order[3], steadystate.R(1, 2))
 	p.AddLink(order[0], order[3], steadystate.R(1, 4)) // shortcut
 
-	sol, err := steadystate.SolvePrefix(p, order)
+	sol, err := steadystate.Solve(context.Background(), p, steadystate.PrefixSpec(order...))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +43,8 @@ func main() {
 	// Compare with a plain reduce to rank 3 on the same platform: the
 	// prefix delivers N+1 results per operation, so it can only be
 	// slower.
-	rsol, err := steadystate.SolveReduce(p, order, order[len(order)-1])
+	rsol, err := steadystate.Solve(context.Background(), p,
+		steadystate.ReduceSpec(order, order[len(order)-1]))
 	if err != nil {
 		log.Fatal(err)
 	}

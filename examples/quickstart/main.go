@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/big"
@@ -28,7 +29,11 @@ func main() {
 	p.AddEdge(relay, workerB, steadystate.R(3, 2))  // slow link
 	p.AddEdge(master, workerB, steadystate.R(2, 1)) // slow direct link
 
-	sol, err := steadystate.SolveScatter(p, master, []steadystate.NodeID{workerA, workerB})
+	// One entry point for every collective: describe the operation with a
+	// Spec and Solve it. The context can carry a deadline to bound the
+	// exact LP solve.
+	sol, err := steadystate.Solve(context.Background(), p,
+		steadystate.ScatterSpec(master, workerA, workerB))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +43,7 @@ func main() {
 
 	// The concrete periodic schedule: slots of simultaneous transfers,
 	// none violating the one-port model.
-	sched, err := steadystate.ScatterSchedule(sol)
+	sched, err := sol.Schedule()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,7 +51,10 @@ func main() {
 
 	// Simulate the Section 3.4 protocol: buffers fill during the first
 	// periods, then every period completes TP·T operations.
-	model := steadystate.ScatterSimModel(sol)
+	model, err := sol.SimModel()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nprotocol simulation (period = %s time units):\n", model.Period.String())
 	for _, periods := range []int{10, 100, 1000} {
 		res, err := steadystate.Simulate(model, periods)

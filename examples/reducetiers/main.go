@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/big"
@@ -28,14 +29,12 @@ func main() {
 	}
 	fmt.Println()
 
-	pr, err := steadystate.NewReduceProblem(p, order, target)
-	if err != nil {
-		log.Fatal(err)
-	}
-	size := steadystate.PaperFig9MessageSize()
-	pr.SizeOf = func(steadystate.ReduceRange) steadystate.Rat { return size }
-
-	sol, err := pr.Solve()
+	// The unified entry point: a reduce spec plus the paper's message
+	// size, solved with a fixed period 100 for the deployment plan.
+	sol, err := steadystate.Solve(context.Background(), p,
+		steadystate.ReduceSpec(order, target),
+		steadystate.WithMessageSize(steadystate.PaperFig9MessageSize()),
+		steadystate.WithFixedPeriod(big.NewInt(100)))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +42,8 @@ func main() {
 		sol.Throughput().RatString())
 	fmt.Printf("(the paper reports 2/9 on its original random bandwidths)\n")
 
-	// Fixed single-tree baselines for contrast.
+	// Fixed single-tree baselines for contrast, on the same sized problem.
+	pr := sol.Unwrap().(*steadystate.ReduceSolution).Problem
 	flat, err := steadystate.FlatReduceTree(pr)
 	if err != nil {
 		log.Fatal(err)
@@ -56,8 +56,7 @@ func main() {
 		flat.Throughput.RatString(), bin.Throughput.RatString())
 
 	// Tree extraction (Theorem 1): a compact certificate of the schedule.
-	app := sol.Integerize()
-	trees, err := app.ExtractTrees()
+	app, trees, err := sol.(steadystate.Certified).Certificate()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,16 +66,21 @@ func main() {
 		fmt.Printf("--- tree %d (weight %s) ---\n%s", i+1, tr.Weight.String(), tr.String(pr))
 	}
 
-	// A deployment would use a small fixed period (Section 4.6).
-	plan, err := steadystate.ApproximateFixedPeriod(app, trees, big.NewInt(100))
+	// A deployment would use a small fixed period (Section 4.6); the
+	// report carries the truncated throughput and its loss.
+	rep, err := sol.Report()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("fixed period 100: throughput %s (loss %s, bounded by %d/100)\n",
-		plan.Throughput.RatString(), plan.Loss.RatString(), len(trees))
+	fmt.Printf("fixed period %s: throughput %s (loss %s, bounded by %d/100)\n",
+		rep.FixedPeriod, rep.FixedThroughput, rep.FixedLoss, len(trees))
 
 	// Simulate the pipelined protocol.
-	res, err := steadystate.Simulate(steadystate.ReduceSimModel(app), 500)
+	model, err := sol.SimModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := steadystate.Simulate(model, 500)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -39,6 +40,12 @@ type FlowStats struct {
 // LP smaller and rules out self-delivery cycles that would otherwise
 // inflate TP.
 func SolveUniformFlow(p *graph.Platform, commodities []Commodity) (*Flow[Commodity], FlowStats, error) {
+	return SolveUniformFlowCtx(context.Background(), p, commodities)
+}
+
+// SolveUniformFlowCtx is SolveUniformFlow honoring context cancellation
+// inside the simplex loop.
+func SolveUniformFlowCtx(ctx context.Context, p *graph.Platform, commodities []Commodity) (*Flow[Commodity], FlowStats, error) {
 	if len(commodities) == 0 {
 		return nil, FlowStats{}, fmt.Errorf("core: no commodities")
 	}
@@ -154,7 +161,7 @@ func SolveUniformFlow(p *graph.Platform, commodities []Commodity) (*Flow[Commodi
 		}
 	}
 
-	sol, err := m.Solve()
+	sol, err := m.SolveCtx(ctx)
 	if err != nil {
 		return nil, FlowStats{}, fmt.Errorf("core: flow LP: %w", err)
 	}

@@ -11,6 +11,7 @@
 package gossip
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
@@ -88,8 +89,11 @@ type Solution struct {
 }
 
 // Solve builds and solves SSPA2A(G).
-func (pr *Problem) Solve() (*Solution, error) {
-	flow, stats, err := core.SolveUniformFlow(pr.Platform, pr.Commodities())
+func (pr *Problem) Solve() (*Solution, error) { return pr.SolveCtx(context.Background()) }
+
+// SolveCtx is Solve honoring context cancellation inside the simplex loop.
+func (pr *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
+	flow, stats, err := core.SolveUniformFlowCtx(ctx, pr.Platform, pr.Commodities())
 	if err != nil {
 		return nil, fmt.Errorf("gossip: %w", err)
 	}

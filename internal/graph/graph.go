@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/rat"
 )
@@ -53,11 +54,80 @@ type Platform struct {
 	out   [][]int
 	in    [][]int
 	index map[string]NodeID
+	// reach memoizes per-source reachability closures. It is held behind a
+	// pointer so Platform values stay copyable (UnmarshalJSON replaces *p
+	// wholesale) without copying a lock.
+	reach *reachCache
+}
+
+// reachCache memoizes, per source node, the bitset of nodes reachable by
+// directed paths. Problem validation and LP variable pruning perform many
+// CanReach queries per solve; on repeated solves over the same platform
+// (solver sessions, topology sweeps) the closure is computed once. The
+// cache is safe for concurrent readers and is dropped whenever the
+// platform gains a node or an edge.
+type reachCache struct {
+	mu   sync.RWMutex
+	sets map[NodeID][]uint64
 }
 
 // New returns an empty platform.
 func New() *Platform {
-	return &Platform{index: make(map[string]NodeID)}
+	return &Platform{index: make(map[string]NodeID), reach: &reachCache{}}
+}
+
+// invalidateReach drops the memoized closures after a mutation.
+func (p *Platform) invalidateReach() {
+	p.reach.mu.Lock()
+	p.reach.sets = nil
+	p.reach.mu.Unlock()
+}
+
+// reachSet returns the closure bitset for src, computing and caching it on
+// first use.
+func (p *Platform) reachSet(src NodeID) []uint64 {
+	p.reach.mu.RLock()
+	set := p.reach.sets[src]
+	p.reach.mu.RUnlock()
+	if set != nil {
+		return set
+	}
+	set = p.computeReach(src)
+	p.reach.mu.Lock()
+	if p.reach.sets == nil {
+		p.reach.sets = make(map[NodeID][]uint64, len(p.nodes))
+	}
+	p.reach.sets[src] = set
+	p.reach.mu.Unlock()
+	return set
+}
+
+// computeReach runs the DFS behind reachSet.
+func (p *Platform) computeReach(src NodeID) []uint64 {
+	set := make([]uint64, (len(p.nodes)+63)/64)
+	set[src>>6] |= 1 << (uint(src) & 63)
+	stack := []NodeID{src}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, idx := range p.out[n] {
+			t := p.edges[idx].To
+			if set[t>>6]&(1<<(uint(t)&63)) == 0 {
+				set[t>>6] |= 1 << (uint(t) & 63)
+				stack = append(stack, t)
+			}
+		}
+	}
+	return set
+}
+
+// Preindex eagerly computes the reachability closure of every node, so
+// that subsequent solves only read the cache. Solver sessions call this
+// once per platform; it is safe (merely redundant) to call it again.
+func (p *Platform) Preindex() {
+	for id := range p.nodes {
+		p.reachSet(NodeID(id))
+	}
 }
 
 // AddNode adds a computing node with the given name and speed and returns
@@ -80,6 +150,7 @@ func (p *Platform) add(name string, speed rat.Rat, router bool) NodeID {
 	p.out = append(p.out, nil)
 	p.in = append(p.in, nil)
 	p.index[name] = id
+	p.invalidateReach()
 	return id
 }
 
@@ -102,6 +173,7 @@ func (p *Platform) AddEdge(from, to NodeID, cost rat.Rat) {
 	p.edges = append(p.edges, Edge{From: from, To: to, Cost: rat.Copy(cost)})
 	p.out[from] = append(p.out[from], idx)
 	p.in[to] = append(p.in[to], idx)
+	p.invalidateReach()
 }
 
 // AddLink adds the pair of directed edges from↔to, both with cost c — the
@@ -207,23 +279,10 @@ func (p *Platform) Participants() []NodeID {
 // paths (including src itself), as a sorted slice.
 func (p *Platform) ReachableFrom(src NodeID) []NodeID {
 	p.checkNode(src)
-	seen := make([]bool, len(p.nodes))
-	stack := []NodeID{src}
-	seen[src] = true
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, idx := range p.out[n] {
-			t := p.edges[idx].To
-			if !seen[t] {
-				seen[t] = true
-				stack = append(stack, t)
-			}
-		}
-	}
+	set := p.reachSet(src)
 	var out []NodeID
-	for id, s := range seen {
-		if s {
+	for id := range p.nodes {
+		if set[id>>6]&(1<<(uint(id)&63)) != 0 {
 			out = append(out, NodeID(id))
 		}
 	}
@@ -232,12 +291,10 @@ func (p *Platform) ReachableFrom(src NodeID) []NodeID {
 
 // CanReach reports whether there is a directed path from src to dst.
 func (p *Platform) CanReach(src, dst NodeID) bool {
-	for _, n := range p.ReachableFrom(src) {
-		if n == dst {
-			return true
-		}
-	}
-	return false
+	p.checkNode(src)
+	p.checkNode(dst)
+	set := p.reachSet(src)
+	return set[dst>>6]&(1<<(uint(dst)&63)) != 0
 }
 
 // HopDiameter returns the largest finite hop-count shortest path between

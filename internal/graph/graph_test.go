@@ -267,3 +267,30 @@ func TestString(t *testing.T) {
 		t.Errorf("String = %q", s)
 	}
 }
+
+func TestReachabilityCacheInvalidation(t *testing.T) {
+	p := New()
+	a := p.AddNode("a", rat.One())
+	b := p.AddNode("b", rat.One())
+	c := p.AddNode("c", rat.One())
+	p.AddEdge(a, b, rat.One())
+	p.Preindex() // warm every closure, then mutate under it
+	if !p.CanReach(a, b) || p.CanReach(a, c) {
+		t.Fatal("wrong reachability before mutation")
+	}
+	p.AddEdge(b, c, rat.One())
+	if !p.CanReach(a, c) {
+		t.Error("AddEdge did not invalidate the cached closure")
+	}
+	d := p.AddNode("d", rat.One())
+	if p.CanReach(a, d) {
+		t.Error("new node reported reachable")
+	}
+	p.AddEdge(c, d, rat.One())
+	if !p.CanReach(a, d) {
+		t.Error("closure not recomputed after growth")
+	}
+	if got := p.ReachableFrom(a); len(got) != 4 {
+		t.Errorf("ReachableFrom(a) = %v, want all 4 nodes", got)
+	}
+}

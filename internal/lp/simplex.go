@@ -1,6 +1,9 @@
 package lp
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math/big"
 
 	"repro/internal/rat"
@@ -168,9 +171,14 @@ func (t *tableau) leaving(c int) int {
 	return best
 }
 
-// iterate pivots until optimality or unboundedness.
-func (t *tableau) iterate() error {
+// iterate pivots until optimality, unboundedness or context cancellation.
+// Each pivot is dominated by big.Int row arithmetic, so a per-pivot
+// cancellation check costs nothing measurable.
+func (t *tableau) iterate(ctx context.Context) error {
 	for {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("lp: interrupted after %d pivots: %w", t.pivots, err)
+		}
 		c := t.entering()
 		if c < 0 {
 			return nil
@@ -185,7 +193,12 @@ func (t *tableau) iterate() error {
 
 // Solve optimizes the model and returns an optimal solution, or
 // ErrInfeasible / ErrUnbounded.
-func (m *Model) Solve() (*Solution, error) {
+func (m *Model) Solve() (*Solution, error) { return m.SolveCtx(context.Background()) }
+
+// SolveCtx is Solve honoring context cancellation: the simplex loop checks
+// ctx between pivots and returns an error wrapping ctx.Err() when the
+// context is canceled or its deadline expires.
+func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 	nStruct := len(m.names)
 
 	// Assemble the constraint rows: model constraints plus upper bounds.
@@ -300,10 +313,13 @@ func (m *Model) Solve() (*Solution, error) {
 				t.eliminateRational(w, t.rows[i], b)
 			}
 		}
-		if err := t.iterate(); err != nil {
-			// Phase 1 objective is bounded (≥ −Σb); unbounded here means a
-			// solver bug, surface it loudly.
-			panic("lp: phase 1 unbounded: " + err.Error())
+		if err := t.iterate(ctx); err != nil {
+			if errors.Is(err, ErrUnbounded) {
+				// Phase 1 objective is bounded (≥ −Σb); unbounded here means
+				// a solver bug, surface it loudly.
+				panic("lp: phase 1 unbounded: " + err.Error())
+			}
+			return nil, err
 		}
 		// Optimal phase-1 value is −(sum of artificials); feasible iff 0.
 		if t.obj.n[t.rhs].Sign() != 0 {
@@ -363,7 +379,7 @@ func (m *Model) Solve() (*Solution, error) {
 			t.eliminateRational(z, t.rows[i], b)
 		}
 	}
-	if err := t.iterate(); err != nil {
+	if err := t.iterate(ctx); err != nil {
 		return nil, err
 	}
 

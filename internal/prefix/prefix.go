@@ -13,6 +13,7 @@
 package prefix
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
@@ -115,7 +116,10 @@ type Solution struct {
 }
 
 // Solve builds and solves the prefix LP exactly over the rationals.
-func (pr *Problem) Solve() (*Solution, error) {
+func (pr *Problem) Solve() (*Solution, error) { return pr.SolveCtx(context.Background()) }
+
+// SolveCtx is Solve honoring context cancellation inside the simplex loop.
+func (pr *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 	n := pr.N()
 	m := lp.NewMaximize()
 	tp := m.Var("TP")
@@ -201,7 +205,7 @@ func (pr *Problem) Solve() (*Solution, error) {
 		}
 	}
 
-	sol, err := m.Solve()
+	sol, err := m.SolveCtx(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("prefix: LP: %w", err)
 	}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/big"
 	"sort"
+	"strings"
 )
 
 // Rat is an exact rational number. It aliases *big.Rat; a nil Rat is not
@@ -203,8 +204,28 @@ func Float(x Rat) float64 {
 func String(x Rat) string { return x.RatString() }
 
 // Parse parses a rational from a string. Accepted forms: "3", "-3", "3/4",
-// "0.25" (decimal expansions are converted exactly).
+// "0.25" (decimal expansions are converted exactly). Empty strings,
+// fractions with a missing side ("/", "3/", "/4") and zero denominators
+// are rejected with specific errors.
 func Parse(s string) (Rat, error) {
+	if s == "" {
+		return nil, fmt.Errorf("rat: empty string is not a rational")
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		num, den := s[:i], s[i+1:]
+		if num == "" && den == "" {
+			return nil, fmt.Errorf("rat: %q has neither numerator nor denominator", s)
+		}
+		if num == "" {
+			return nil, fmt.Errorf("rat: %q is missing its numerator", s)
+		}
+		if den == "" {
+			return nil, fmt.Errorf("rat: %q is missing its denominator", s)
+		}
+		if d, ok := new(big.Int).SetString(den, 10); ok && d.Sign() == 0 {
+			return nil, fmt.Errorf("rat: %q has a zero denominator", s)
+		}
+	}
 	r, ok := new(big.Rat).SetString(s)
 	if !ok {
 		return nil, fmt.Errorf("rat: cannot parse %q as a rational", s)

@@ -18,6 +18,7 @@
 package reduce
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
@@ -203,7 +204,10 @@ type Solution struct {
 }
 
 // Solve builds and solves SSR(G) exactly over the rationals.
-func (pr *Problem) Solve() (*Solution, error) {
+func (pr *Problem) Solve() (*Solution, error) { return pr.SolveCtx(context.Background()) }
+
+// SolveCtx is Solve honoring context cancellation inside the simplex loop.
+func (pr *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 	n := pr.N()
 	final := Range{0, n}
 	m := lp.NewMaximize()
@@ -315,7 +319,7 @@ func (pr *Problem) Solve() (*Solution, error) {
 	}
 	m.AddConstraint("throughput", tpExpr, lp.Eq, rat.Zero())
 
-	sol, err := m.Solve()
+	sol, err := m.SolveCtx(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("reduce: SSR LP: %w", err)
 	}

@@ -13,6 +13,7 @@
 package scatter
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
@@ -66,12 +67,15 @@ type Solution struct {
 }
 
 // Solve builds and solves SSSP(G).
-func (pr *Problem) Solve() (*Solution, error) {
+func (pr *Problem) Solve() (*Solution, error) { return pr.SolveCtx(context.Background()) }
+
+// SolveCtx is Solve honoring context cancellation inside the simplex loop.
+func (pr *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 	comms := make([]core.Commodity, len(pr.Targets))
 	for i, t := range pr.Targets {
 		comms[i] = core.Commodity{Src: pr.Source, Dst: t}
 	}
-	flow, stats, err := core.SolveUniformFlow(pr.Platform, comms)
+	flow, stats, err := core.SolveUniformFlowCtx(ctx, pr.Platform, comms)
 	if err != nil {
 		return nil, fmt.Errorf("scatter: %w", err)
 	}

@@ -1,0 +1,114 @@
+// report.go defines the serializable artifacts of the unified API: the
+// Scenario file format (platform + spec) that lets cmd/topogen,
+// cmd/paperbench and cmd/sscollect compose through files, and the Report
+// summary of a solved collective.
+package steadystate
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rat"
+)
+
+// Scenario bundles a platform with the spec of a collective to solve on
+// it — the on-disk unit of work of the cmd pipeline. cmd/topogen writes
+// scenarios, cmd/sscollect and cmd/paperbench consume them.
+type Scenario struct {
+	Platform *Platform
+	Spec     Spec
+}
+
+type jsonScenario struct {
+	Platform json.RawMessage `json:"platform"`
+	Spec     json.RawMessage `json:"spec,omitempty"`
+}
+
+// MarshalJSON serializes the scenario; the platform keeps its exact
+// rational costs and speeds.
+func (sc *Scenario) MarshalJSON() ([]byte, error) {
+	if sc.Platform == nil {
+		return nil, fmt.Errorf("steadystate: scenario has no platform")
+	}
+	pdata, err := json.Marshal(sc.Platform)
+	if err != nil {
+		return nil, err
+	}
+	js := jsonScenario{Platform: pdata}
+	// A platform-only scenario (no spec yet) is valid on both sides of
+	// the round trip.
+	if sc.Spec.Kind != "" {
+		js.Spec, err = json.Marshal(sc.Spec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return json.MarshalIndent(js, "", "  ")
+}
+
+// UnmarshalJSON deserializes a scenario produced by MarshalJSON.
+func (sc *Scenario) UnmarshalJSON(data []byte) error {
+	var js jsonScenario
+	if err := json.Unmarshal(data, &js); err != nil {
+		return err
+	}
+	if len(js.Platform) == 0 {
+		return fmt.Errorf("steadystate: scenario has no platform")
+	}
+	sc.Platform = NewPlatform()
+	if err := json.Unmarshal(js.Platform, sc.Platform); err != nil {
+		return err
+	}
+	sc.Spec = Spec{}
+	if len(js.Spec) > 0 {
+		if err := json.Unmarshal(js.Spec, &sc.Spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Solve solves the scenario's spec on its platform.
+func (sc *Scenario) Solve(ctx context.Context, opts ...SolveOption) (Solution, error) {
+	return Solve(ctx, sc.Platform, sc.Spec, opts...)
+}
+
+// Report is the serializable summary of a solved collective: exact
+// rationals travel as strings ("2/9"), periods as decimal strings, so
+// reports survive JSON without losing the bit-exactness the framework
+// guarantees.
+type Report struct {
+	Kind Kind `json:"kind"`
+	// Throughput is TP as an exact rational string.
+	Throughput string `json:"throughput"`
+	// ThroughputFloat approximates TP for human consumption; may round.
+	ThroughputFloat float64 `json:"throughput_float"`
+	// Period is the integer schedule period.
+	Period string `json:"period"`
+	// LP records the size of the solved linear program.
+	LPVars        int `json:"lp_vars"`
+	LPConstraints int `json:"lp_constraints"`
+	LPPivots      int `json:"lp_pivots"`
+	// Trees counts the extracted reduction trees (reduce/gather only).
+	Trees int `json:"trees,omitempty"`
+	// FixedPeriod/FixedThroughput/FixedLoss describe the Section 4.6
+	// approximation when the solve used WithFixedPeriod.
+	FixedPeriod     string `json:"fixed_period,omitempty"`
+	FixedThroughput string `json:"fixed_throughput,omitempty"`
+	FixedLoss       string `json:"fixed_loss,omitempty"`
+}
+
+// newReport fills the fields every kind shares.
+func newReport(kind Kind, tp Rat, period fmt.Stringer, stats core.FlowStats) *Report {
+	return &Report{
+		Kind:            kind,
+		Throughput:      tp.RatString(),
+		ThroughputFloat: rat.Float(tp),
+		Period:          period.String(),
+		LPVars:          stats.Vars,
+		LPConstraints:   stats.Constraints,
+		LPPivots:        stats.Pivots,
+	}
+}

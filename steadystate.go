@@ -24,6 +24,42 @@
 //     small weighted family of reduction trees (Theorem 1).
 //   - Parallel prefix (Section 6 extension): every rank i receives v[0,i].
 //
+// All five collectives are instances of one steady-state framework (a
+// linear program over the same platform graph), and the API reflects
+// that: a Spec names the collective (kind + roles), the single entry
+// point Solve computes its optimal throughput, and the returned Solution
+// uniformly exposes the schedule, the protocol simulation model and a
+// serializable Report:
+//
+//	p := steadystate.NewPlatform()
+//	src := p.AddNode("src", steadystate.R(1, 1))
+//	dst := p.AddNode("dst", steadystate.R(1, 1))
+//	p.AddLink(src, dst, steadystate.R(1, 4)) // 4 unit messages per time unit
+//	sol, _ := steadystate.Solve(ctx, p, steadystate.ScatterSpec(src, dst))
+//	fmt.Println(sol.Throughput()) // exact rational: 4
+//	sched, _ := sol.Schedule()    // one-port-safe periodic schedule
+//
+// Reduce-family solves take functional options — WithMessageSize,
+// WithTaskTime, WithBlockSize, WithFixedPeriod:
+//
+//	p, order, target := steadystate.PaperFig9()
+//	sol, _ := steadystate.Solve(ctx, p, steadystate.ReduceSpec(order, target),
+//	    steadystate.WithMessageSize(steadystate.PaperFig9MessageSize()))
+//
+// For repeated solves on one platform (sweeps, services), a Solver
+// session reuses per-platform state and is safe for concurrent use:
+//
+//	solver := steadystate.NewSolver(p)
+//	for _, spec := range specs {
+//	    sol, err := solver.Solve(ctx, spec)
+//	    ...
+//	}
+//
+// The context cancels the exact simplex loop between pivots, so oversized
+// solves can be bounded by deadlines. Platforms, Specs and Reports
+// (solution summaries) all serialize to JSON — see Scenario for the
+// platform+spec file format the cmd/ tools exchange.
+//
 // All arithmetic is exact over the rationals (math/big.Rat): throughputs,
 // schedules and periods are bit-exact, not floating point. Supporting
 // machinery is exposed for schedule construction (weighted-matching
@@ -32,17 +68,13 @@
 // steady-state protocol (Section 3.4), baseline comparators, and topology
 // generation (including the paper's own example platforms).
 //
-// Quick start:
-//
-//	p := steadystate.NewPlatform()
-//	src := p.AddNode("src", steadystate.R(1, 1))
-//	dst := p.AddNode("dst", steadystate.R(1, 1))
-//	p.AddLink(src, dst, steadystate.R(1, 4)) // 4 unit messages per time unit
-//	sol, _ := steadystate.SolveScatter(p, src, []steadystate.NodeID{dst})
-//	fmt.Println(sol.Throughput()) // exact rational: 4
+// The per-collective entry points below (SolveScatter, SolveGossip,
+// SolveReduce, SolvePrefix) predate the unified API; they remain as thin
+// deprecated wrappers delegating to Solve.
 package steadystate
 
 import (
+	"context"
 	"math/big"
 
 	"repro/internal/baseline"
@@ -96,12 +128,15 @@ type ScatterSolution = scatter.Solution
 // SolveScatter computes the optimal steady-state scatter throughput from
 // source to targets and the typed multi-route flow achieving it
 // (linear program SSSP(G)).
+//
+// Deprecated: use Solve with ScatterSpec(source, targets...), which adds
+// context cancellation and the uniform Solution interface.
 func SolveScatter(p *Platform, source NodeID, targets []NodeID) (*ScatterSolution, error) {
-	pr, err := scatter.NewProblem(p, source, targets)
+	sol, err := Solve(context.Background(), p, ScatterSpec(source, targets...))
 	if err != nil {
 		return nil, err
 	}
-	return pr.Solve()
+	return sol.Unwrap().(*ScatterSolution), nil
 }
 
 // ---------------------------------------------------------------------------
@@ -115,12 +150,15 @@ type GossipSolution = gossip.Solution
 
 // SolveGossip computes the optimal steady-state personalized all-to-all
 // throughput (linear program SSPA2A(G)).
+//
+// Deprecated: use Solve with GossipSpec(sources, targets), which adds
+// context cancellation and the uniform Solution interface.
 func SolveGossip(p *Platform, sources, targets []NodeID) (*GossipSolution, error) {
-	pr, err := gossip.NewProblem(p, sources, targets)
+	sol, err := Solve(context.Background(), p, GossipSpec(sources, targets))
 	if err != nil {
 		return nil, err
 	}
-	return pr.Solve()
+	return sol.Unwrap().(*GossipSolution), nil
 }
 
 // ---------------------------------------------------------------------------
@@ -152,14 +190,17 @@ func NewReduceProblem(p *Platform, order []NodeID, target NodeID) (*ReduceProble
 }
 
 // SolveReduce computes the optimal steady-state reduce throughput with
-// unit-size partial results (use NewReduceProblem + Solve directly for
-// custom sizes).
+// unit-size partial results.
+//
+// Deprecated: use Solve with ReduceSpec(order, target) — and
+// WithMessageSize / WithTaskTime instead of mutating a ReduceProblem —
+// which adds context cancellation and the uniform Solution interface.
 func SolveReduce(p *Platform, order []NodeID, target NodeID) (*ReduceSolution, error) {
-	pr, err := reduce.NewProblem(p, order, target)
+	sol, err := Solve(context.Background(), p, ReduceSpec(order, target))
 	if err != nil {
 		return nil, err
 	}
-	return pr.Solve()
+	return sol.Unwrap().(*ReduceSolution), nil
 }
 
 // NewGatherProblem configures a Series of Gathers as a reduce whose
@@ -196,12 +237,15 @@ type PrefixSolution = prefix.Solution
 
 // SolvePrefix computes the optimal steady-state parallel-prefix
 // throughput: every rank i receives v[0,i] per operation.
+//
+// Deprecated: use Solve with PrefixSpec(order...), which adds context
+// cancellation and the uniform Solution interface.
 func SolvePrefix(p *Platform, order []NodeID) (*PrefixSolution, error) {
-	pr, err := prefix.NewProblem(p, order)
+	sol, err := Solve(context.Background(), p, PrefixSpec(order...))
 	if err != nil {
 		return nil, err
 	}
-	return pr.Solve()
+	return sol.Unwrap().(*PrefixSolution), nil
 }
 
 // ---------------------------------------------------------------------------
