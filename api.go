@@ -14,6 +14,7 @@ import (
 	"math/big"
 	"sync"
 
+	"repro/internal/composite"
 	"repro/internal/gossip"
 	"repro/internal/prefix"
 	"repro/internal/rat"
@@ -24,7 +25,7 @@ import (
 // Kind names a collective operation of the steady-state framework.
 type Kind string
 
-// The five collective kinds solvable through Solve.
+// The collective kinds solvable through Solve.
 const (
 	// KindScatter: one source sends one distinct message per target per
 	// operation (paper Section 3).
@@ -42,17 +43,28 @@ const (
 	// KindPrefix: every rank i receives the prefix v[0,i] (Section 6
 	// extension).
 	KindPrefix Kind = "prefix"
+	// KindReduceScatter: each participant i of Order ends with segment i
+	// reduced over all ranks — solved as the composite of N concurrent
+	// reduces (segment i targeted at Order[i]) sharing every node's port
+	// and compute capacity.
+	KindReduceScatter Kind = "reducescatter"
+	// KindComposite: several member collectives superposed on one
+	// platform, maximizing the common (weighted) throughput under shared
+	// one-port and compute constraints.
+	KindComposite Kind = "composite"
 )
 
 // Spec describes one collective instance on a platform: the kind plus the
 // participating nodes in the roles that kind requires. Fields not listed
 // for a kind are ignored:
 //
-//	KindScatter: Source, Targets
-//	KindGossip:  Sources, Targets
-//	KindReduce:  Order (Order[i] holds v_i), Target (must be in Order)
-//	KindGather:  Order, Target (must be in Order)
-//	KindPrefix:  Order
+//	KindScatter:       Source, Targets
+//	KindGossip:        Sources, Targets
+//	KindReduce:        Order (Order[i] holds v_i), Target (must be in Order)
+//	KindGather:        Order, Target (must be in Order)
+//	KindPrefix:        Order
+//	KindReduceScatter: Order (rank i keeps segment i)
+//	KindComposite:     Members (base kinds only), Weights (nil: all 1)
 //
 // Specs serialize to JSON with node IDs; IDs are stable across Platform
 // JSON round trips (nodes serialize in insertion order), so a Spec and
@@ -64,6 +76,11 @@ type Spec struct {
 	Targets []NodeID
 	Order   []NodeID
 	Target  NodeID
+	// Members are the member collectives of a composite; Weights scale
+	// each member's delivered rate relative to the common base throughput
+	// (nil means weight 1 for every member).
+	Members []Spec
+	Weights []Rat
 }
 
 // ScatterSpec returns the spec of a scatter from source to targets.
@@ -98,8 +115,44 @@ func PrefixSpec(order ...NodeID) Spec {
 	return Spec{Kind: KindPrefix, Order: append([]NodeID(nil), order...)}
 }
 
+// ReduceScatterSpec returns the spec of a reduce-scatter over order: each
+// participant order[i] ends with segment i reduced over all ranks. It
+// solves as the composite of len(order) concurrent reduces, one per
+// segment, with equal weights — the common throughput is the rate at
+// which whole reduce-scatter operations complete.
+func ReduceScatterSpec(order ...NodeID) Spec {
+	return Spec{Kind: KindReduceScatter, Order: append([]NodeID(nil), order...)}
+}
+
+// CompositeSpec returns the spec of a weighted superposition of member
+// collectives on one platform: member i is constrained to deliver
+// weights[i]·TP operations per time unit and the common base throughput
+// TP is maximized. A nil weights gives every member weight 1 (the max-min
+// fair common rate). Members must be base kinds (no nested composites).
+func CompositeSpec(members []Spec, weights []Rat) Spec {
+	ws := make([]Rat, 0, len(weights))
+	for _, w := range weights {
+		if w == nil {
+			// Preserve the nil so validate reports it as a non-positive
+			// weight instead of panicking here.
+			ws = append(ws, nil)
+			continue
+		}
+		ws = append(ws, rat.Copy(w))
+	}
+	if len(ws) == 0 {
+		ws = nil
+	}
+	return Spec{
+		Kind:    KindComposite,
+		Members: append([]Spec(nil), members...),
+		Weights: ws,
+	}
+}
+
 // jsonSpec is the serialized form: only the fields the kind uses are
-// emitted, and scalar node IDs travel as pointers so id 0 survives.
+// emitted, scalar node IDs travel as pointers so id 0 survives, and
+// composite weights travel as exact rational strings.
 type jsonSpec struct {
 	Kind    Kind     `json:"kind"`
 	Source  *NodeID  `json:"source,omitempty"`
@@ -107,6 +160,8 @@ type jsonSpec struct {
 	Targets []NodeID `json:"targets,omitempty"`
 	Order   []NodeID `json:"order,omitempty"`
 	Target  *NodeID  `json:"target,omitempty"`
+	Members []Spec   `json:"members,omitempty"`
+	Weights []string `json:"weights,omitempty"`
 }
 
 // MarshalJSON serializes the spec, emitting only the fields its kind
@@ -125,8 +180,13 @@ func (s Spec) MarshalJSON() ([]byte, error) {
 		tgt := s.Target
 		js.Order = s.Order
 		js.Target = &tgt
-	case KindPrefix:
+	case KindPrefix, KindReduceScatter:
 		js.Order = s.Order
+	case KindComposite:
+		js.Members = s.Members
+		for _, w := range s.Weights {
+			js.Weights = append(js.Weights, w.RatString())
+		}
 	default:
 		return nil, fmt.Errorf("steadystate: cannot marshal spec of unknown kind %q", s.Kind)
 	}
@@ -139,12 +199,19 @@ func (s *Spec) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &js); err != nil {
 		return err
 	}
-	*s = Spec{Kind: js.Kind, Sources: js.Sources, Targets: js.Targets, Order: js.Order}
+	*s = Spec{Kind: js.Kind, Sources: js.Sources, Targets: js.Targets, Order: js.Order, Members: js.Members}
 	if js.Source != nil {
 		s.Source = *js.Source
 	}
 	if js.Target != nil {
 		s.Target = *js.Target
+	}
+	for _, w := range js.Weights {
+		r, err := rat.Parse(w)
+		if err != nil {
+			return fmt.Errorf("steadystate: spec weight %q: %w", w, err)
+		}
+		s.Weights = append(s.Weights, r)
 	}
 	return nil
 }
@@ -190,6 +257,34 @@ func (s Spec) validate(p *Platform) error {
 			s.Kind, p.Node(s.Target).Name)
 	case KindPrefix:
 		return check("order", s.Order...)
+	case KindReduceScatter:
+		if len(s.Order) < 2 {
+			return fmt.Errorf("steadystate: %s spec: need at least two participants", s.Kind)
+		}
+		return check("order", s.Order...)
+	case KindComposite:
+		if len(s.Members) == 0 {
+			return fmt.Errorf("steadystate: composite spec has no members")
+		}
+		if s.Weights != nil && len(s.Weights) != len(s.Members) {
+			return fmt.Errorf("steadystate: composite spec has %d weights for %d members",
+				len(s.Weights), len(s.Members))
+		}
+		for i, w := range s.Weights {
+			if w == nil || w.Sign() <= 0 {
+				return fmt.Errorf("steadystate: composite member %d has non-positive weight", i)
+			}
+		}
+		for i, mem := range s.Members {
+			switch mem.Kind {
+			case KindComposite, KindReduceScatter:
+				return fmt.Errorf("steadystate: composite member %d: %s members cannot nest", i, mem.Kind)
+			}
+			if err := mem.validate(p); err != nil {
+				return fmt.Errorf("steadystate: composite member %d: %w", i, err)
+			}
+		}
+		return nil
 	}
 	return fmt.Errorf("steadystate: unknown collective kind %q", s.Kind)
 }
@@ -256,6 +351,19 @@ func optionsFor(kind Kind, opts []SolveOption) (*solveOptions, error) {
 		}
 		if o.fixedPeriod != nil {
 			return nil, fmt.Errorf("steadystate: WithFixedPeriod is not supported for %s specs", KindPrefix)
+		}
+	case KindReduceScatter:
+		if o.blockSize != nil {
+			return nil, fmt.Errorf("steadystate: WithBlockSize applies only to %s specs", KindGather)
+		}
+		if o.fixedPeriod != nil {
+			return nil, fmt.Errorf("steadystate: WithFixedPeriod is not supported for %s specs (the merged schedule has no single tree family)", KindReduceScatter)
+		}
+	case KindComposite:
+		// Size and task-time options pass through to the members they
+		// apply to; the fixed-period truncation has no composite analogue.
+		if o.fixedPeriod != nil {
+			return nil, fmt.Errorf("steadystate: WithFixedPeriod is not supported for %s specs", KindComposite)
 		}
 	}
 	return o, nil
@@ -348,30 +456,76 @@ func (s *Solver) Solve(ctx context.Context, spec Spec, opts ...SolveOption) (Sol
 	}
 
 	switch spec.Kind {
+	case KindScatter, KindGossip, KindReduce, KindGather, KindPrefix:
+		mem, err := s.newMember(spec, rat.One(), o)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case mem.Scatter != nil:
+			sol, err := mem.Scatter.SolveCtx(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return &scatterSolution{spec: spec, sol: sol}, nil
+		case mem.Gossip != nil:
+			sol, err := mem.Gossip.SolveCtx(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return &gossipSolution{spec: spec, sol: sol}, nil
+		case mem.Reduce != nil:
+			sol, err := mem.Reduce.SolveCtx(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return &reduceSolution{spec: spec, sol: sol, fixed: o.fixedPeriod}, nil
+		default:
+			sol, err := mem.Prefix.SolveCtx(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return &prefixSolution{spec: spec, sol: sol}, nil
+		}
+
+	case KindReduceScatter:
+		// Reduce-scatter is the composite of N concurrent reduces: the
+		// reduce of segment i, over the full order, delivered to Order[i],
+		// all with equal weight.
+		members := make([]Spec, len(spec.Order))
+		for i, id := range spec.Order {
+			members[i] = ReduceSpec(spec.Order, id)
+		}
+		return s.solveComposite(ctx, spec, members, nil, o)
+
+	case KindComposite:
+		return s.solveComposite(ctx, spec, spec.Members, spec.Weights, o)
+	}
+	return nil, fmt.Errorf("steadystate: unknown collective kind %q", spec.Kind)
+}
+
+// newMember builds the kind-specific problem of a base spec, with the
+// options applied, wrapped as a weighted composite member. It is the
+// single problem-construction path for both plain and composite solves.
+func (s *Solver) newMember(spec Spec, weight Rat, o *solveOptions) (composite.Member, error) {
+	switch spec.Kind {
 	case KindScatter:
 		pr, err := scatter.NewProblem(s.p, spec.Source, spec.Targets)
 		if err != nil {
-			return nil, err
+			return composite.Member{}, err
 		}
-		sol, err := pr.SolveCtx(ctx)
-		if err != nil {
-			return nil, err
-		}
-		return &scatterSolution{spec: spec, sol: sol}, nil
+		return composite.ScatterMember(pr, weight), nil
 
 	case KindGossip:
 		pr, err := gossip.NewProblem(s.p, spec.Sources, spec.Targets)
 		if err != nil {
-			return nil, err
+			return composite.Member{}, err
 		}
-		sol, err := pr.SolveCtx(ctx)
-		if err != nil {
-			return nil, err
-		}
-		return &gossipSolution{spec: spec, sol: sol}, nil
+		return composite.GossipMember(pr, weight), nil
 
 	case KindReduce, KindGather:
 		var pr *ReduceProblem
+		var err error
 		if spec.Kind == KindGather {
 			block := o.blockSize
 			if block == nil {
@@ -386,21 +540,17 @@ func (s *Solver) Solve(ctx context.Context, spec Spec, opts ...SolveOption) (Sol
 			}
 		}
 		if err != nil {
-			return nil, err
+			return composite.Member{}, err
 		}
 		if o.taskTime != nil {
 			pr.TaskTime = o.taskTime
 		}
-		sol, err := pr.SolveCtx(ctx)
-		if err != nil {
-			return nil, err
-		}
-		return &reduceSolution{spec: spec, sol: sol, fixed: o.fixedPeriod}, nil
+		return composite.ReduceMember(pr, weight), nil
 
 	case KindPrefix:
 		pr, err := prefix.NewProblem(s.p, spec.Order)
 		if err != nil {
-			return nil, err
+			return composite.Member{}, err
 		}
 		if o.messageSize != nil {
 			size := rat.Copy(o.messageSize)
@@ -409,13 +559,35 @@ func (s *Solver) Solve(ctx context.Context, spec Spec, opts ...SolveOption) (Sol
 		if o.taskTime != nil {
 			pr.TaskTime = o.taskTime
 		}
-		sol, err := pr.SolveCtx(ctx)
-		if err != nil {
-			return nil, err
-		}
-		return &prefixSolution{spec: spec, sol: sol}, nil
+		return composite.PrefixMember(pr, weight), nil
 	}
-	return nil, fmt.Errorf("steadystate: unknown collective kind %q", spec.Kind)
+	return composite.Member{}, fmt.Errorf("steadystate: %q cannot be a composite member", spec.Kind)
+}
+
+// solveComposite assembles the member problems into one shared-capacity LP
+// and solves it.
+func (s *Solver) solveComposite(ctx context.Context, spec Spec, memberSpecs []Spec, weights []Rat, o *solveOptions) (Solution, error) {
+	members := make([]composite.Member, len(memberSpecs))
+	for i, ms := range memberSpecs {
+		w := rat.One()
+		if weights != nil {
+			w = weights[i]
+		}
+		mem, err := s.newMember(ms, w, o)
+		if err != nil {
+			return nil, fmt.Errorf("steadystate: %s member %d: %w", spec.Kind, i, err)
+		}
+		members[i] = mem
+	}
+	cp, err := composite.NewProblem(s.p, members)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := cp.SolveCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &compositeSolution{spec: spec, memberSpecs: append([]Spec(nil), memberSpecs...), sol: sol}, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -553,4 +725,71 @@ func (s *prefixSolution) SimModel() (*SimModel, error) {
 }
 func (s *prefixSolution) Report() (*Report, error) {
 	return newReport(KindPrefix, s.sol.Throughput(), s.sol.Period(), s.sol.Stats), nil
+}
+
+// Concurrent is implemented by composite and reduce-scatter solutions:
+// Members exposes each member collective as a full per-kind Solution
+// (reduce members additionally implement Certified), solved jointly under
+// the shared capacity constraints.
+type Concurrent interface {
+	Members() []Solution
+}
+
+type compositeSolution struct {
+	spec        Spec
+	memberSpecs []Spec
+	sol         *composite.Solution
+}
+
+func (s *compositeSolution) Kind() Kind       { return s.spec.Kind }
+func (s *compositeSolution) Spec() Spec       { return s.spec }
+func (s *compositeSolution) Throughput() Rat  { return s.sol.Throughput() }
+func (s *compositeSolution) Period() *big.Int { return s.sol.Period() }
+func (s *compositeSolution) Verify() error    { return s.sol.Verify() }
+func (s *compositeSolution) Unwrap() any      { return s.sol }
+func (s *compositeSolution) String() string   { return s.sol.String() }
+
+// Schedule returns the merged periodic schedule: the union of every
+// member's transfers over the LCM of the member periods, decomposed into
+// one-port-safe matching slots (member i's transfers are labeled
+// "op<i>:…").
+func (s *compositeSolution) Schedule() (*Schedule, error) { return s.sol.Schedule() }
+
+func (s *compositeSolution) SimModel() (*SimModel, error) {
+	return nil, fmt.Errorf("%s protocol simulation: %w", s.spec.Kind, ErrUnsupported)
+}
+
+// Members returns one Solution per member, in spec order. Member solutions
+// answer their own member spec: their Throughput is Weight·TP, and their
+// Schedule/Report/Certificate machinery works member-locally.
+func (s *compositeSolution) Members() []Solution {
+	out := make([]Solution, len(s.sol.Members))
+	for i, ms := range s.sol.Members {
+		spec := s.memberSpecs[i]
+		switch {
+		case ms.Scatter != nil:
+			out[i] = &scatterSolution{spec: spec, sol: ms.Scatter}
+		case ms.Gossip != nil:
+			out[i] = &gossipSolution{spec: spec, sol: ms.Gossip}
+		case ms.Reduce != nil:
+			out[i] = &reduceSolution{spec: spec, sol: ms.Reduce}
+		case ms.Prefix != nil:
+			out[i] = &prefixSolution{spec: spec, sol: ms.Prefix}
+		}
+	}
+	return out
+}
+
+// Report summarizes the composite — common throughput, merged period, the
+// shared LP size — plus one member report per member (throughput Weight·TP
+// and the member's own period; tree counts are available through
+// Members()[i].(Certified) without the extraction cost here).
+func (s *compositeSolution) Report() (*Report, error) {
+	r := newReport(s.spec.Kind, s.sol.TP, s.sol.Period(), s.sol.Stats)
+	for i, ms := range s.sol.Members {
+		mr := newReport(s.memberSpecs[i].Kind, ms.Throughput, ms.Period(), s.sol.Stats)
+		mr.Weight = ms.Weight.RatString()
+		r.Members = append(r.Members, mr)
+	}
+	return r, nil
 }

@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"errors"
 	"math/big"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -430,7 +431,7 @@ func TestFixedPeriodOption(t *testing.T) {
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatalf("report unmarshal: %v", err)
 	}
-	if back != *rep {
+	if !reflect.DeepEqual(back, *rep) {
 		t.Errorf("report round trip changed: %+v vs %+v", back, *rep)
 	}
 }

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	paperbench                      # run everything
-//	paperbench -run fig9            # run one experiment (fig2|fig3|fig4|fig6|fig7|fig9|prop1|prop3|prop4|gossip|prefix|baseline|scaling|session)
+//	paperbench -run fig9            # run one experiment (fig2|fig3|fig4|fig6|fig7|fig9|prop1|prop3|prop4|gossip|prefix|rscatter|baseline|scaling|session)
 //	paperbench -timeout 30s         # bound every solve with a deadline
 //	paperbench -scenario work.json  # solve one scenario file, print its report JSON
 package main
@@ -61,6 +61,7 @@ func main() {
 		{"fig2", fig2}, {"fig3", fig3}, {"fig4", fig4}, {"fig6", fig6},
 		{"fig7", fig7}, {"fig9", fig9}, {"prop1", prop1}, {"prop3", prop3},
 		{"prop4", prop4}, {"gossip", gossipExp}, {"prefix", prefixExp},
+		{"rscatter", reduceScatterExp},
 		{"baseline", baselineExp}, {"scaling", scaling}, {"session", sessionExp},
 	}
 	any := false
@@ -271,6 +272,25 @@ func prefixExp() {
 	sol := must(steadystate.Solve(ctx, p, steadystate.PrefixSpec(order...)))
 	fmt.Fprintf(out, "fig6 triangle parallel prefix: TP = %s\n", sol.Throughput().RatString())
 	fmt.Fprint(out, sol.String())
+}
+
+// reduceScatterExp: concurrent collectives — reduce-scatter as N reduces
+// sharing one-port capacity, on the Fig-6 triangle and a symmetric ring.
+func reduceScatterExp() {
+	solveRS := func(name string, p *steadystate.Platform, order []steadystate.NodeID) {
+		sol := must(steadystate.Solve(ctx, p, steadystate.ReduceScatterSpec(order...)))
+		must(0, sol.Verify())
+		standalone := must(steadystate.Solve(ctx, p, steadystate.ReduceSpec(order, order[0])))
+		sched := must(sol.Schedule())
+		fmt.Fprintf(out, "%-16s common TP = %-8s (single reduce alone: %s)\n",
+			name, sol.Throughput().RatString(), standalone.Throughput().RatString())
+		fmt.Fprintf(out, "%-16s merged schedule: %d slots, busy %s of period %s\n",
+			"", len(sched.Slots), sched.BusyTime().RatString(), sched.Period.RatString())
+	}
+	p6, order, _ := steadystate.PaperFig6()
+	solveRS("fig6 triangle", p6, order)
+	ring := steadystate.Ring(4, steadystate.R(1, 2), steadystate.R(1, 1))
+	solveRS("ring-4", ring, ring.Participants())
 }
 
 // baselineExp: LP vs fixed-plan baselines on the paper platforms.

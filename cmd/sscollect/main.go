@@ -10,6 +10,7 @@
 //	sscollect -platform p.json -op reduce  -order n0,n1,n2 -target n0 -trees -schedule
 //	sscollect -platform p.json -op gather  -order n0,n1,n2 -target n0 -blocksize 2
 //	sscollect -platform p.json -op prefix  -order n0,n1,n2
+//	sscollect -platform p.json -op reducescatter -order n0,n1,n2 -schedule
 //	sscollect -platform scenario.json -report report.json
 //
 // A scenario file (cmd/topogen -spec) carries both the platform and the
@@ -45,7 +46,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		platformFile = fs.String("platform", "", "platform or scenario JSON file, or fig2|fig6|fig9")
-		op           = fs.String("op", "", "collective: scatter|gossip|reduce|gather|prefix (default: the scenario's spec, else scatter)")
+		op           = fs.String("op", "", "collective: scatter|gossip|reduce|gather|prefix|reducescatter (default: the scenario's spec, else scatter)")
 		source       = fs.String("source", "", "scatter source node name")
 		sources      = fs.String("sources", "", "gossip source names, comma separated")
 		targets      = fs.String("targets", "", "scatter/gossip target names, comma separated")
@@ -115,7 +116,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	var opts []steadystate.SolveOption
 	switch spec.Kind {
-	case steadystate.KindReduce:
+	case steadystate.KindReduce, steadystate.KindReduceScatter:
 		sz, err := steadystate.ParseRat(*size)
 		if err != nil {
 			return fmt.Errorf("bad -size: %w", err)

@@ -13,8 +13,11 @@
 // Kinds: star, chain, ring, grid, tree, connected, tiers, fig2, fig6, fig9.
 //
 // With -spec the output is a scenario file — the platform plus the spec
-// of a collective to solve on it (-op scatter|gossip|reduce|gather|prefix)
-// — which cmd/sscollect and cmd/paperbench consume directly.
+// of a collective to solve on it (-op
+// scatter|gossip|reduce|gather|prefix|reducescatter) — which cmd/sscollect
+// and cmd/paperbench consume directly. Composite scenarios (several
+// weighted member collectives) are built programmatically with
+// CompositeSpec and serialize through the same format.
 package main
 
 import (
@@ -51,7 +54,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		out      = fs.String("out", "", "output file (default stdout)")
 		dot      = fs.Bool("dot", false, "emit Graphviz DOT instead of JSON")
 		withSpec = fs.Bool("spec", false, "emit a scenario (platform + collective spec) instead of a bare platform")
-		op       = fs.String("op", "", "collective kind for -spec: scatter|gossip|reduce|gather|prefix (default: the figure's canonical collective, else scatter)")
+		op       = fs.String("op", "", "collective kind for -spec: scatter|gossip|reduce|gather|prefix|reducescatter (default: the figure's canonical collective, else scatter)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,13 +128,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		sc := &steadystate.Scenario{Platform: p, Spec: spec}
-		data, err = json.Marshal(sc)
+		// MarshalJSON is compact for nesting; the writer owns the pretty
+		// printing.
+		data, err = json.MarshalIndent(sc, "", "  ")
 		if err != nil {
 			return fmt.Errorf("marshal scenario: %w", err)
 		}
 		data = append(data, '\n')
 	default:
-		data, err = json.Marshal(p)
+		data, err = json.MarshalIndent(p, "", "  ")
 		if err != nil {
 			return fmt.Errorf("marshal: %w", err)
 		}
@@ -191,6 +196,8 @@ func rolesFor(kind steadystate.Kind, parts []steadystate.NodeID) (steadystate.Sp
 		return steadystate.GatherSpec(parts, parts[0]), nil
 	case steadystate.KindPrefix:
 		return steadystate.PrefixSpec(parts...), nil
+	case steadystate.KindReduceScatter:
+		return steadystate.ReduceScatterSpec(parts...), nil
 	}
 	return steadystate.Spec{}, fmt.Errorf("unknown -op %q", kind)
 }

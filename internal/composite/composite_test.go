@@ -1,0 +1,188 @@
+package composite
+
+import (
+	"testing"
+
+	"repro/internal/gossip"
+	"repro/internal/graph"
+	"repro/internal/prefix"
+	"repro/internal/rat"
+	"repro/internal/reduce"
+	"repro/internal/scatter"
+	"repro/internal/topology"
+)
+
+// twoNode returns a symmetric two-node platform: both directions cost c,
+// both nodes speed s.
+func twoNode(t *testing.T, c, s rat.Rat) (*graph.Platform, graph.NodeID, graph.NodeID) {
+	t.Helper()
+	p := graph.New()
+	a := p.AddNode("a", s)
+	b := p.AddNode("b", s)
+	p.AddLink(a, b, c)
+	return p, a, b
+}
+
+func TestSingleReduceMemberMatchesPlainSolve(t *testing.T) {
+	p, order, target := topology.PaperFig6()
+	plain, err := reduce.NewProblem(p, order, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	memberPr, err := reduce.NewProblem(p, order, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := NewProblem(p, []Member{ReduceMember(memberPr, rat.One())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cp.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rat.Eq(got.TP, want.Throughput()) {
+		t.Errorf("TP = %s, want %s", got.TP.RatString(), want.Throughput().RatString())
+	}
+	if got.Period().Cmp(want.Period()) != 0 {
+		t.Errorf("period = %s, want %s", got.Period().String(), want.Period().String())
+	}
+	if err := got.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestTwoConcurrentReducesShareCapacity(t *testing.T) {
+	// Reduce-scatter over two symmetric nodes: member 0 reduces to a,
+	// member 1 to b. The optimal supports use opposite link directions and
+	// distinct compute nodes, so the common rate equals the standalone
+	// reduce throughput.
+	p, a, b := twoNode(t, rat.One(), rat.One())
+	order := []graph.NodeID{a, b}
+
+	plainPr, err := reduce.NewProblem(p, order, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := plainPr.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var members []Member
+	for _, target := range order {
+		pr, err := reduce.NewProblem(p, order, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, ReduceMember(pr, rat.One()))
+	}
+	cp, err := NewProblem(p, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := cp.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rat.Eq(sol.TP, plain.Throughput()) {
+		t.Errorf("concurrent TP = %s, want standalone %s", sol.TP.RatString(), plain.Throughput().RatString())
+	}
+	if err := sol.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	sched, err := sol.Schedule()
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := sched.Verify(); err != nil {
+		t.Errorf("merged schedule invalid: %v", err)
+	}
+}
+
+func TestMixedMembersVerifyAndSchedule(t *testing.T) {
+	// A scatter and a gossip superposed on the Fig-6 triangle, plus a
+	// reduce and a prefix — all competing for the same ports.
+	p, order, target := topology.PaperFig6()
+
+	sc, err := scatter.NewProblem(p, order[0], order[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	go1, err := gossip.NewProblem(p, order[:2], order[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := reduce.NewProblem(p, order, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := prefix.NewProblem(p, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := NewProblem(p, []Member{
+		ScatterMember(sc, rat.One()),
+		GossipMember(go1, rat.One()),
+		ReduceMember(red, rat.Int(2)),
+		PrefixMember(pre, rat.One()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := cp.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.TP.Sign() <= 0 {
+		t.Fatal("expected positive common throughput")
+	}
+	// The weighted member must run at exactly twice the base rate.
+	if !rat.Eq(sol.Members[2].Throughput, rat.Mul(rat.Int(2), sol.TP)) {
+		t.Errorf("weighted member TP = %s, want 2·%s",
+			sol.Members[2].Throughput.RatString(), sol.TP.RatString())
+	}
+	if err := sol.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	sched, err := sol.Schedule()
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := sched.Verify(); err != nil {
+		t.Errorf("merged schedule invalid: %v", err)
+	}
+}
+
+func TestNewProblemRejectsBadMembers(t *testing.T) {
+	p, order, target := topology.PaperFig6()
+	red, err := reduce.NewProblem(p, order, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewProblem(p, nil); err == nil {
+		t.Error("empty member list should fail")
+	}
+	if _, err := NewProblem(p, []Member{{Weight: rat.One()}}); err == nil {
+		t.Error("member with no problem should fail")
+	}
+	if _, err := NewProblem(p, []Member{ReduceMember(red, rat.Zero())}); err == nil {
+		t.Error("zero weight should fail")
+	}
+	if _, err := NewProblem(p, []Member{{Weight: rat.One(), Reduce: red, Prefix: &prefix.Problem{}}}); err == nil {
+		t.Error("member with two problems should fail")
+	}
+	other, _, _ := topology.PaperFig6()
+	otherRed, err := reduce.NewProblem(other, []graph.NodeID{0, 1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewProblem(p, []Member{ReduceMember(otherRed, rat.One())}); err == nil {
+		t.Error("member on a different platform should fail")
+	}
+}

@@ -87,6 +87,46 @@ func (b *OccupancyBuilder) AddConstraints(m *lp.Model) {
 	}
 }
 
+// ComputeBuilder accumulates, per node, the linear expression for the
+// node's compute-occupation fraction
+//
+//	α(P_i) = Σ_tasks cons(P_i, T) · w(P_i, T)
+//
+// (equation (9) of the reduce program) and then emits α(P_i) ≤ 1 for every
+// node with registered work. Like OccupancyBuilder it may be shared by
+// several collectives assembled into one model: superposed reduce-family
+// members then compete for each node's compute time exactly as they
+// compete for its ports.
+type ComputeBuilder struct {
+	p     *graph.Platform
+	terms map[graph.NodeID]lp.Expr
+}
+
+// NewCompute returns a compute-occupation builder for the platform.
+func NewCompute(p *graph.Platform) *ComputeBuilder {
+	return &ComputeBuilder{p: p, terms: make(map[graph.NodeID]lp.Expr)}
+}
+
+// Add records that variable v contributes v·timePerTask to the compute
+// occupation of node.
+func (b *ComputeBuilder) Add(node graph.NodeID, v lp.Var, timePerTask rat.Rat) {
+	b.terms[node] = b.terms[node].Plus(timePerTask, v)
+}
+
+// AddConstraints adds α(P_i) ≤ 1 for every node with registered work, in
+// node-ID order.
+func (b *ComputeBuilder) AddConstraints(m *lp.Model) {
+	ids := make([]graph.NodeID, 0, len(b.terms))
+	for id := range b.terms {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		m.AddConstraint(fmt.Sprintf("compute(%s)", b.p.Node(id).Name),
+			b.terms[id], lp.Leq, rat.One())
+	}
+}
+
 // Flow is the solved steady-state communication pattern of a forwarding
 // collective (scatter, gossip): for every directed edge and message type C,
 // the fractional number of messages of that type crossing the edge per time

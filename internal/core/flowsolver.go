@@ -46,22 +46,70 @@ func SolveUniformFlow(p *graph.Platform, commodities []Commodity) (*Flow[Commodi
 // SolveUniformFlowCtx is SolveUniformFlow honoring context cancellation
 // inside the simplex loop.
 func SolveUniformFlowCtx(ctx context.Context, p *graph.Platform, commodities []Commodity) (*Flow[Commodity], FlowStats, error) {
+	m := lp.NewMaximize()
+	tp := m.Var("TP")
+	m.SetObjective(tp, rat.One())
+	occ := NewOccupancy(p)
+	frag, err := NewFlowFragment(m, "", p, commodities, occ)
+	if err != nil {
+		return nil, FlowStats{}, err
+	}
+	occ.AddConstraints(m)
+	frag.AddFlowConstraints(m, "", tp, rat.One())
+
+	sol, err := m.SolveCtx(ctx)
+	if err != nil {
+		return nil, FlowStats{}, fmt.Errorf("core: flow LP: %w", err)
+	}
+	if err := m.Verify(sol.Values()); err != nil {
+		return nil, FlowStats{}, fmt.Errorf("core: flow LP solution failed verification: %w", err)
+	}
+
+	f := frag.Extract(sol, sol.Objective)
+	stats := FlowStats{Vars: m.NumVars(), Constraints: m.NumConstraints(), Pivots: sol.Iterations}
+	return f, stats, nil
+}
+
+// flowKey identifies a transfer variable of a FlowFragment.
+type flowKey struct {
+	e EdgeKey
+	c Commodity
+}
+
+// FlowFragment is one uniform-flow collective's share of a linear program:
+// the transfer variables of its commodities, with their one-port occupancy
+// registered on a (possibly shared) OccupancyBuilder. A single fragment on
+// a private model is the plain scatter/gossip LP; several fragments on one
+// model with one shared builder superpose concurrent collectives on the
+// same platform capacity.
+type FlowFragment struct {
+	Platform    *graph.Platform
+	Commodities []Commodity
+	sends       map[flowKey]lp.Var
+}
+
+// NewFlowFragment validates the commodities and declares their transfer
+// variables into m, registering each variable's busy time with occ. label
+// prefixes variable names so several fragments can share one model. The
+// caller emits the port constraints (occ.AddConstraints) once after every
+// fragment has been declared, then calls AddFlowConstraints per fragment.
+func NewFlowFragment(m *lp.Model, label string, p *graph.Platform, commodities []Commodity, occ *OccupancyBuilder) (*FlowFragment, error) {
 	if len(commodities) == 0 {
-		return nil, FlowStats{}, fmt.Errorf("core: no commodities")
+		return nil, fmt.Errorf("core: no commodities")
 	}
 	seen := make(map[Commodity]bool)
 	for _, c := range commodities {
 		if c.Src == c.Dst {
-			return nil, FlowStats{}, fmt.Errorf("core: commodity %s→%s has identical endpoints",
+			return nil, fmt.Errorf("core: commodity %s→%s has identical endpoints",
 				p.Node(c.Src).Name, p.Node(c.Dst).Name)
 		}
 		if seen[c] {
-			return nil, FlowStats{}, fmt.Errorf("core: duplicate commodity %s→%s",
+			return nil, fmt.Errorf("core: duplicate commodity %s→%s",
 				p.Node(c.Src).Name, p.Node(c.Dst).Name)
 		}
 		seen[c] = true
 		if !p.CanReach(c.Src, c.Dst) {
-			return nil, FlowStats{}, fmt.Errorf("core: %s cannot reach %s: throughput is zero",
+			return nil, fmt.Errorf("core: %s cannot reach %s: throughput is zero",
 				p.Node(c.Src).Name, p.Node(c.Dst).Name)
 		}
 	}
@@ -90,17 +138,11 @@ func SolveUniformFlowCtx(ctx context.Context, p *graph.Platform, commodities []C
 		}
 	}
 
-	m := lp.NewMaximize()
-	tp := m.Var("TP")
-	m.SetObjective(tp, rat.One())
-
-	// send variables, keyed for extraction.
-	type sendKey struct {
-		e EdgeKey
-		c Commodity
+	f := &FlowFragment{
+		Platform:    p,
+		Commodities: append([]Commodity(nil), commodities...),
+		sends:       make(map[flowKey]lp.Var),
 	}
-	sendVars := make(map[sendKey]lp.Var)
-	occ := NewOccupancy(p)
 	allowed := func(e graph.Edge, c Commodity) bool {
 		// A useful transfer starts somewhere the commodity can exist and
 		// ends somewhere it can still make progress; never into its own
@@ -113,38 +155,45 @@ func SolveUniformFlowCtx(ctx context.Context, p *graph.Platform, commodities []C
 			if !allowed(e, c) {
 				continue
 			}
-			name := fmt.Sprintf("send(%s->%s,m%s_%s)",
+			name := fmt.Sprintf("%ssend(%s->%s,m%s_%s)", label,
 				p.Node(e.From).Name, p.Node(e.To).Name,
 				p.Node(c.Src).Name, p.Node(c.Dst).Name)
 			v := m.Var(name)
-			sendVars[sendKey{EdgeKey{e.From, e.To}, c}] = v
+			f.sends[flowKey{EdgeKey{e.From, e.To}, c}] = v
 			occ.Add(e.From, e.To, v, e.Cost) // unit-size messages
 		}
 	}
-	occ.AddConstraints(m)
+	return f, nil
+}
 
-	// Conservation at forwarding nodes, and TP delivery at destinations.
-	for _, c := range commodities {
+// AddFlowConstraints adds the fragment's conservation constraints at
+// forwarding nodes and the delivery of weight·tp at every destination.
+// With weight 1 on a private model this is exactly the plain SSSP/SSPA2A
+// program; in a shared model, weight scales the member's delivered rate
+// relative to the common objective tp.
+func (f *FlowFragment) AddFlowConstraints(m *lp.Model, label string, tp lp.Var, weight rat.Rat) {
+	p := f.Platform
+	for _, c := range f.Commodities {
 		for _, n := range p.Nodes() {
 			if n.ID == c.Src {
 				continue
 			}
 			in := lp.NewExpr()
 			for _, e := range p.InEdges(n.ID) {
-				if v, ok := sendVars[sendKey{EdgeKey{e.From, e.To}, c}]; ok {
+				if v, ok := f.sends[flowKey{EdgeKey{e.From, e.To}, c}]; ok {
 					in = in.Plus1(v)
 				}
 			}
 			if n.ID == c.Dst {
-				in = in.Minus(rat.One(), tp)
+				in = in.Minus(weight, tp)
 				m.AddConstraint(
-					fmt.Sprintf("deliver(%s,m%s_%s)", n.Name, p.Node(c.Src).Name, p.Node(c.Dst).Name),
+					fmt.Sprintf("%sdeliver(%s,m%s_%s)", label, n.Name, p.Node(c.Src).Name, p.Node(c.Dst).Name),
 					in, lp.Eq, rat.Zero())
 				continue
 			}
 			out := lp.NewExpr()
 			for _, e := range p.OutEdges(n.ID) {
-				if v, ok := sendVars[sendKey{EdgeKey{e.From, e.To}, c}]; ok {
+				if v, ok := f.sends[flowKey{EdgeKey{e.From, e.To}, c}]; ok {
 					out = out.Plus1(v)
 				}
 			}
@@ -156,27 +205,22 @@ func SolveUniformFlowCtx(ctx context.Context, p *graph.Platform, commodities []C
 				cons = cons.Minus(t.Coeff, t.Var)
 			}
 			m.AddConstraint(
-				fmt.Sprintf("conserve(%s,m%s_%s)", n.Name, p.Node(c.Src).Name, p.Node(c.Dst).Name),
+				fmt.Sprintf("%sconserve(%s,m%s_%s)", label, n.Name, p.Node(c.Src).Name, p.Node(c.Dst).Name),
 				cons, lp.Eq, rat.Zero())
 		}
 	}
+}
 
-	sol, err := m.SolveCtx(ctx)
-	if err != nil {
-		return nil, FlowStats{}, fmt.Errorf("core: flow LP: %w", err)
+// Extract reads the fragment's solved rates into a typed flow with the
+// given throughput, canceling zero-net circulations.
+func (f *FlowFragment) Extract(sol *lp.Solution, tp rat.Rat) *Flow[Commodity] {
+	out := NewFlow[Commodity](f.Platform)
+	out.Throughput = rat.Copy(tp)
+	for k, v := range f.sends {
+		out.SetSend(k.e.From, k.e.To, k.c, sol.Value(v))
 	}
-	if err := m.Verify(sol.Values()); err != nil {
-		return nil, FlowStats{}, fmt.Errorf("core: flow LP solution failed verification: %w", err)
-	}
-
-	f := NewFlow[Commodity](p)
-	f.Throughput = rat.Copy(sol.Objective)
-	for k, v := range sendVars {
-		f.SetSend(k.e.From, k.e.To, k.c, sol.Value(v))
-	}
-	CancelCycles(f)
-	stats := FlowStats{Vars: m.NumVars(), Constraints: m.NumConstraints(), Pivots: sol.Iterations}
-	return f, stats, nil
+	CancelCycles(out)
+	return out
 }
 
 // CancelCycles removes pure circulations from each commodity of the flow:

@@ -133,17 +133,20 @@ func (p *Platform) Preindex() {
 // AddNode adds a computing node with the given name and speed and returns
 // its ID. Names must be unique.
 func (p *Platform) AddNode(name string, speed rat.Rat) NodeID {
-	return p.add(name, speed, false)
+	return p.mustAdd(name, speed, false)
 }
 
 // AddRouter adds a pure forwarding node.
 func (p *Platform) AddRouter(name string) NodeID {
-	return p.add(name, rat.Zero(), true)
+	return p.mustAdd(name, rat.Zero(), true)
 }
 
-func (p *Platform) add(name string, speed rat.Rat, router bool) NodeID {
+// add is the error-returning core of AddNode/AddRouter, shared with the
+// unmarshal path (where malformed input must surface as an error, not a
+// panic).
+func (p *Platform) add(name string, speed rat.Rat, router bool) (NodeID, error) {
 	if _, dup := p.index[name]; dup {
-		panic(fmt.Sprintf("graph: duplicate node %q", name))
+		return 0, fmt.Errorf("graph: duplicate node %q", name)
 	}
 	id := NodeID(len(p.nodes))
 	p.nodes = append(p.nodes, Node{ID: id, Name: name, Speed: rat.Copy(speed), Router: router})
@@ -151,6 +154,14 @@ func (p *Platform) add(name string, speed rat.Rat, router bool) NodeID {
 	p.in = append(p.in, nil)
 	p.index[name] = id
 	p.invalidateReach()
+	return id, nil
+}
+
+func (p *Platform) mustAdd(name string, speed rat.Rat, router bool) NodeID {
+	id, err := p.add(name, speed, router)
+	if err != nil {
+		panic(err.Error())
+	}
 	return id
 }
 
@@ -160,20 +171,29 @@ func (p *Platform) add(name string, speed rat.Rat, router bool) NodeID {
 func (p *Platform) AddEdge(from, to NodeID, cost rat.Rat) {
 	p.checkNode(from)
 	p.checkNode(to)
+	if err := p.addEdge(from, to, cost); err != nil {
+		panic(err.Error())
+	}
+}
+
+// addEdge is the error-returning core of AddEdge, shared with the
+// unmarshal path.
+func (p *Platform) addEdge(from, to NodeID, cost rat.Rat) error {
 	if from == to {
-		panic(fmt.Sprintf("graph: self-loop on %s", p.nodes[from].Name))
+		return fmt.Errorf("graph: self-loop on %s", p.nodes[from].Name)
 	}
 	if cost.Sign() <= 0 {
-		panic(fmt.Sprintf("graph: non-positive edge cost %s→%s", p.nodes[from].Name, p.nodes[to].Name))
+		return fmt.Errorf("graph: non-positive edge cost %s→%s", p.nodes[from].Name, p.nodes[to].Name)
 	}
 	if _, ok := p.FindEdge(from, to); ok {
-		panic(fmt.Sprintf("graph: duplicate edge %s→%s", p.nodes[from].Name, p.nodes[to].Name))
+		return fmt.Errorf("graph: duplicate edge %s→%s", p.nodes[from].Name, p.nodes[to].Name)
 	}
 	idx := len(p.edges)
 	p.edges = append(p.edges, Edge{From: from, To: to, Cost: rat.Copy(cost)})
 	p.out[from] = append(p.out[from], idx)
 	p.in[to] = append(p.in[to], idx)
 	p.invalidateReach()
+	return nil
 }
 
 // AddLink adds the pair of directed edges from↔to, both with cost c — the
@@ -431,7 +451,10 @@ type jsonEdge struct {
 }
 
 // MarshalJSON serializes the platform with exact rational costs/speeds as
-// strings ("3/4").
+// strings ("3/4"). The output is compact, like every encoding/json
+// marshaler — nesting a platform inside another document keeps it
+// byte-identical, and writers that want pretty files indent at the edge
+// (json.MarshalIndent / json.Indent).
 func (p *Platform) MarshalJSON() ([]byte, error) {
 	jp := jsonPlatform{}
 	for _, n := range p.nodes {
@@ -448,10 +471,13 @@ func (p *Platform) MarshalJSON() ([]byte, error) {
 			Cost: e.Cost.RatString(),
 		})
 	}
-	return json.MarshalIndent(jp, "", "  ")
+	return json.Marshal(jp)
 }
 
-// UnmarshalJSON deserializes a platform produced by MarshalJSON.
+// UnmarshalJSON deserializes a platform produced by MarshalJSON. Malformed
+// input — duplicate node names, self-loops, non-positive costs, duplicate
+// or dangling edges — is reported as an error, never a panic, so hostile
+// scenario files cannot crash the loader.
 func (p *Platform) UnmarshalJSON(data []byte) error {
 	var jp jsonPlatform
 	if err := json.Unmarshal(data, &jp); err != nil {
@@ -459,19 +485,17 @@ func (p *Platform) UnmarshalJSON(data []byte) error {
 	}
 	*p = *New()
 	for _, jn := range jp.Nodes {
-		if jn.Router {
-			p.AddRouter(jn.Name)
-			continue
-		}
 		speed := rat.Zero()
-		if jn.Speed != "" {
+		if !jn.Router && jn.Speed != "" {
 			s, err := rat.Parse(jn.Speed)
 			if err != nil {
 				return fmt.Errorf("graph: node %q: %w", jn.Name, err)
 			}
 			speed = s
 		}
-		p.AddNode(jn.Name, speed)
+		if _, err := p.add(jn.Name, speed, jn.Router); err != nil {
+			return err
+		}
 	}
 	for _, je := range jp.Edges {
 		from, ok := p.Lookup(je.From)
@@ -486,7 +510,9 @@ func (p *Platform) UnmarshalJSON(data []byte) error {
 		if err != nil {
 			return fmt.Errorf("graph: edge %s→%s: %w", je.From, je.To, err)
 		}
-		p.AddEdge(from, to, cost)
+		if err := p.addEdge(from, to, cost); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -230,18 +230,70 @@ func TestJSONRoundTrip(t *testing.T) {
 }
 
 func TestUnmarshalErrors(t *testing.T) {
-	cases := []string{
-		`{"nodes":[{"name":"a"}],"edges":[{"from":"a","to":"zzz","cost":"1"}]}`,
-		`{"nodes":[{"name":"a"}],"edges":[{"from":"zzz","to":"a","cost":"1"}]}`,
-		`{"nodes":[{"name":"a","speed":"x"}],"edges":[]}`,
-		`{"nodes":[{"name":"a"},{"name":"b"}],"edges":[{"from":"a","to":"b","cost":"bad"}]}`,
-		`not json`,
+	// Every malformed input must come back as an error, never a panic —
+	// scenario files are untrusted input to cmd/sscollect and
+	// cmd/paperbench.
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"unknown edge target", `{"nodes":[{"name":"a"}],"edges":[{"from":"a","to":"zzz","cost":"1"}]}`},
+		{"unknown edge source", `{"nodes":[{"name":"a"}],"edges":[{"from":"zzz","to":"a","cost":"1"}]}`},
+		{"bad speed", `{"nodes":[{"name":"a","speed":"x"}],"edges":[]}`},
+		{"bad cost", `{"nodes":[{"name":"a"},{"name":"b"}],"edges":[{"from":"a","to":"b","cost":"bad"}]}`},
+		{"not json", `not json`},
+		{"duplicate node", `{"nodes":[{"name":"a"},{"name":"a"}],"edges":[]}`},
+		{"duplicate router", `{"nodes":[{"name":"a","router":true},{"name":"a","router":true}],"edges":[]}`},
+		{"self-loop", `{"nodes":[{"name":"a"}],"edges":[{"from":"a","to":"a","cost":"1"}]}`},
+		{"zero cost", `{"nodes":[{"name":"a"},{"name":"b"}],"edges":[{"from":"a","to":"b","cost":"0"}]}`},
+		{"negative cost", `{"nodes":[{"name":"a"},{"name":"b"}],"edges":[{"from":"a","to":"b","cost":"-1/2"}]}`},
+		{"duplicate edge", `{"nodes":[{"name":"a"},{"name":"b"}],"edges":[{"from":"a","to":"b","cost":"1"},{"from":"a","to":"b","cost":"2"}]}`},
 	}
 	for _, c := range cases {
-		var p Platform
-		if err := json.Unmarshal([]byte(c), &p); err == nil {
-			t.Errorf("unmarshal %q should fail", c)
-		}
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("unmarshal panicked: %v", r)
+				}
+			}()
+			var p Platform
+			if err := json.Unmarshal([]byte(c.in), &p); err == nil {
+				t.Errorf("unmarshal %q should fail", c.in)
+			}
+		})
+	}
+}
+
+func TestMarshalCompactAndNestedAgree(t *testing.T) {
+	// MarshalJSON must emit compact JSON so that top-level marshaling and
+	// nesting inside a wrapper document produce the same bytes (a custom
+	// marshaler returning indented output gets re-compacted by
+	// encoding/json when nested, and double-indented by wrappers).
+	p := New()
+	a := p.AddNode("a", rat.One())
+	b := p.AddNode("b", rat.Int(2))
+	p.AddLink(a, b, rat.New(1, 3))
+
+	direct, err := p.MarshalJSON()
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	top, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("json.Marshal: %v", err)
+	}
+	if string(direct) != string(top) {
+		t.Errorf("direct MarshalJSON and json.Marshal disagree:\n%s\nvs\n%s", direct, top)
+	}
+	nested, err := json.Marshal(struct {
+		P *Platform `json:"p"`
+	}{p})
+	if err != nil {
+		t.Fatalf("nested marshal: %v", err)
+	}
+	want := `{"p":` + string(top) + `}`
+	if string(nested) != want {
+		t.Errorf("nested serialization disagrees with top-level:\n%s\nvs\n%s", nested, want)
 	}
 }
 

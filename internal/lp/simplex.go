@@ -49,6 +49,21 @@ func (r *row) normalize() {
 
 var bigOne = big.NewInt(1)
 
+// blandAfterOverride, when ≥ 0, replaces the per-phase pivot budget after
+// which the pivoting rule falls back from Dantzig's to Bland's. Tests use
+// it to make the fallback (and its reset between phases) observable without
+// constructing pathological cycling programs.
+var blandAfterOverride = -1
+
+// blandBudget returns the number of pivots a phase may spend before the
+// solver suspects cycling and switches to Bland's rule.
+func blandBudget(rows, cols int) int {
+	if blandAfterOverride >= 0 {
+		return blandAfterOverride
+	}
+	return 50 * (rows + cols + 20)
+}
+
 // rational returns entry j as an exact rational.
 func (r *row) rational(j int) rat.Rat { return ratFromBigInts(r.n[j], r.d) }
 
@@ -254,10 +269,11 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 		}
 	}
 	nCols := nStruct + nSlack + nArt
+	budget := blandBudget(len(rowsIn), nCols)
 	t := &tableau{
 		rhs:        nCols,
 		dead:       make([]bool, nCols),
-		blandAfter: 50 * (len(rowsIn) + nCols + 20),
+		blandAfter: budget,
 	}
 
 	slackAt := nStruct
@@ -361,8 +377,15 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 		}
 	}
 
-	// Phase 2: the real objective. Build the reduced-cost row −c and
-	// eliminate the basic columns.
+	// Phase 2: the real objective. Phase 1 may have tripped the cycling
+	// heuristic on a degenerate basis; that suspicion does not carry over to
+	// the new objective, so phase 2 restarts on Dantzig's rule with a fresh
+	// pivot budget (otherwise one degenerate phase 1 would force Bland's
+	// slow lowest-index rule on the entire optimization).
+	t.bland = false
+	t.blandAfter = t.pivots + budget
+
+	// Build the reduced-cost row −c and eliminate the basic columns.
 	z := newRow(nCols + 1)
 	objDen := rat.DenominatorLCM(values(m.obj)...)
 	z.d = objDen

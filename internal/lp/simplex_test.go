@@ -182,6 +182,36 @@ func TestSolveDegenerate(t *testing.T) {
 	}
 }
 
+func TestPhase2ResetsBlandRule(t *testing.T) {
+	// Regression: tableau.bland used to leak from phase 1 into phase 2 —
+	// once a degenerate phase 1 exhausted the pivot budget, the entire
+	// phase-2 solve was stuck on Bland's slow lowest-index rule. Shrinking
+	// the budget to zero makes any phase 1 "long": its first pivot already
+	// exceeds the budget, so phase 1 ends with bland=true.
+	blandAfterOverride = 0
+	defer func() { blandAfterOverride = -1 }()
+
+	// max x1 + 2x2 + 3x3  s.t.  x1 + x2 + x3 = 1  → z = 3 at x3 = 1.
+	// Phase 1 (one pivot, enters x1) trips the zero budget. A Dantzig
+	// phase 2 then pivots straight to x3 (most negative reduced cost):
+	// 2 pivots total. A leaked Bland phase 2 walks x2 then x3: 3 pivots.
+	m := NewMaximize()
+	x1 := m.Var("x1")
+	x2 := m.Var("x2")
+	x3 := m.Var("x3")
+	m.SetObjective(x1, rat.Int(1))
+	m.SetObjective(x2, rat.Int(2))
+	m.SetObjective(x3, rat.Int(3))
+	m.AddConstraint("sum", NewExpr().Plus1(x1).Plus1(x2).Plus1(x3), Eq, rat.One())
+	sol := mustSolve(t, m)
+	if !rat.Eq(sol.Objective, rat.Int(3)) {
+		t.Fatalf("objective = %s, want 3", sol.Objective.RatString())
+	}
+	if sol.Iterations > 2 {
+		t.Errorf("solve took %d pivots, want ≤ 2 (phase 2 should restart on Dantzig's rule)", sol.Iterations)
+	}
+}
+
 func TestSolveRedundantEqualities(t *testing.T) {
 	// Duplicated equality rows exercise the redundant-row drop in the
 	// phase-1 cleanup.

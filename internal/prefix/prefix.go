@@ -120,90 +120,16 @@ func (pr *Problem) Solve() (*Solution, error) { return pr.SolveCtx(context.Backg
 
 // SolveCtx is Solve honoring context cancellation inside the simplex loop.
 func (pr *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
-	n := pr.N()
 	m := lp.NewMaximize()
 	tp := m.Var("TP")
 	m.SetObjective(tp, rat.One())
-
-	sendVars := make(map[reduce.SendKey]lp.Var)
 	occ := core.NewOccupancy(pr.Platform)
-	for _, e := range pr.Platform.Edges() {
-		for _, r := range pr.ranges() {
-			if r.IsLeaf() && e.To == pr.Order[r.K] {
-				continue // a leaf never flows into its owner
-			}
-			k := reduce.SendKey{From: e.From, To: e.To, R: r}
-			v := m.Var(fmt.Sprintf("send(%s->%s,%s)",
-				pr.Platform.Node(e.From).Name, pr.Platform.Node(e.To).Name, r))
-			sendVars[k] = v
-			occ.Add(e.From, e.To, v, rat.Mul(pr.SizeOf(r), e.Cost))
-		}
-	}
+	comp := core.NewCompute(pr.Platform)
+	frag := pr.NewFragment(m, "", occ)
 	occ.AddConstraints(m)
-
-	taskVars := make(map[reduce.TaskKey]lp.Var)
-	for _, node := range pr.computeNodes() {
-		alpha := lp.NewExpr()
-		for _, t := range pr.tasks() {
-			k := reduce.TaskKey{Node: node, T: t}
-			v := m.Var(fmt.Sprintf("cons(%s,%s)", pr.Platform.Node(node).Name, t))
-			taskVars[k] = v
-			alpha = alpha.Plus(pr.TaskTime(node, t), v)
-		}
-		m.AddConstraint(fmt.Sprintf("compute(%s)", pr.Platform.Node(node).Name),
-			alpha, lp.Leq, rat.One())
-	}
-
-	// Conservation with per-rank prefix deliveries: at node P_i for range
-	// [0,i], the balance owes an extra TP (the delivered prefixes).
-	for _, node := range pr.Platform.Nodes() {
-		for _, r := range pr.ranges() {
-			if r.IsLeaf() && pr.Order[r.K] == node.ID {
-				continue // unlimited local supply of v[i,i]
-			}
-			expr := lp.NewExpr()
-			terms := 0
-			for _, e := range pr.Platform.InEdges(node.ID) {
-				if v, ok := sendVars[reduce.SendKey{From: e.From, To: e.To, R: r}]; ok {
-					expr = expr.Plus1(v)
-					terms++
-				}
-			}
-			for l := r.K; l < r.M; l++ {
-				if v, ok := taskVars[reduce.TaskKey{Node: node.ID, T: reduce.Task{K: r.K, L: l, M: r.M}}]; ok {
-					expr = expr.Plus1(v)
-					terms++
-				}
-			}
-			for _, e := range pr.Platform.OutEdges(node.ID) {
-				if v, ok := sendVars[reduce.SendKey{From: e.From, To: e.To, R: r}]; ok {
-					expr = expr.Minus(rat.One(), v)
-					terms++
-				}
-			}
-			for nn := r.M + 1; nn <= n; nn++ {
-				if v, ok := taskVars[reduce.TaskKey{Node: node.ID, T: reduce.Task{K: r.K, L: r.M, M: nn}}]; ok {
-					expr = expr.Minus(rat.One(), v)
-					terms++
-				}
-			}
-			for nn := 0; nn < r.K; nn++ {
-				if v, ok := taskVars[reduce.TaskKey{Node: node.ID, T: reduce.Task{K: nn, L: r.K - 1, M: r.M}}]; ok {
-					expr = expr.Minus(rat.One(), v)
-					terms++
-				}
-			}
-			delivered := r.K == 0 && pr.Order[r.M] == node.ID
-			if delivered {
-				expr = expr.Minus(rat.One(), tp)
-				terms++
-			}
-			if terms == 0 {
-				continue
-			}
-			m.AddConstraint(fmt.Sprintf("conserve(%s,%s)", node.Name, r), expr, lp.Eq, rat.Zero())
-		}
-	}
+	frag.AddComputeVars(m, "", comp)
+	comp.AddConstraints(m)
+	frag.AddFlowConstraints(m, "", tp, rat.One())
 
 	sol, err := m.SolveCtx(ctx)
 	if err != nil {
@@ -212,24 +138,135 @@ func (pr *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 	if err := m.Verify(sol.Values()); err != nil {
 		return nil, fmt.Errorf("prefix: LP solution failed verification: %w", err)
 	}
-	out := &Solution{
+	stats := core.FlowStats{Vars: m.NumVars(), Constraints: m.NumConstraints(), Pivots: sol.Iterations}
+	return frag.Extract(sol, sol.Objective, stats), nil
+}
+
+// Fragment is one prefix instance's share of a linear program, following
+// the same three-phase shared assembly as reduce.Fragment: transfer
+// variables + port occupancy, task variables + compute occupancy, then
+// conservation with per-rank deliveries.
+type Fragment struct {
+	Problem *Problem
+	Sends   map[reduce.SendKey]lp.Var
+	Tasks   map[reduce.TaskKey]lp.Var
+}
+
+// NewFragment declares the transfer variables into m (a leaf never flows
+// into its owner), registering their busy time with occ. label prefixes
+// variable names so several fragments can share one model.
+func (pr *Problem) NewFragment(m *lp.Model, label string, occ *core.OccupancyBuilder) *Fragment {
+	f := &Fragment{
 		Problem: pr,
-		TP:      rat.Copy(sol.Objective),
+		Sends:   make(map[reduce.SendKey]lp.Var),
+		Tasks:   make(map[reduce.TaskKey]lp.Var),
+	}
+	for _, e := range pr.Platform.Edges() {
+		for _, r := range pr.ranges() {
+			if r.IsLeaf() && e.To == pr.Order[r.K] {
+				continue // a leaf never flows into its owner
+			}
+			k := reduce.SendKey{From: e.From, To: e.To, R: r}
+			v := m.Var(fmt.Sprintf("%ssend(%s->%s,%s)", label,
+				pr.Platform.Node(e.From).Name, pr.Platform.Node(e.To).Name, r))
+			f.Sends[k] = v
+			occ.Add(e.From, e.To, v, rat.Mul(pr.SizeOf(r), e.Cost))
+		}
+	}
+	return f
+}
+
+// AddComputeVars declares the computation variables, registering each
+// task's time with comp.
+func (f *Fragment) AddComputeVars(m *lp.Model, label string, comp *core.ComputeBuilder) {
+	pr := f.Problem
+	for _, node := range pr.computeNodes() {
+		for _, t := range pr.tasks() {
+			k := reduce.TaskKey{Node: node, T: t}
+			v := m.Var(fmt.Sprintf("%scons(%s,%s)", label, pr.Platform.Node(node).Name, t))
+			f.Tasks[k] = v
+			comp.Add(node, v, pr.TaskTime(node, t))
+		}
+	}
+}
+
+// AddFlowConstraints adds conservation with per-rank prefix deliveries:
+// at node P_i for range [0,i], the balance owes an extra weight·tp (the
+// delivered prefixes).
+func (f *Fragment) AddFlowConstraints(m *lp.Model, label string, tp lp.Var, weight rat.Rat) {
+	pr := f.Problem
+	n := pr.N()
+	for _, node := range pr.Platform.Nodes() {
+		for _, r := range pr.ranges() {
+			if r.IsLeaf() && pr.Order[r.K] == node.ID {
+				continue // unlimited local supply of v[i,i]
+			}
+			expr := lp.NewExpr()
+			terms := 0
+			for _, e := range pr.Platform.InEdges(node.ID) {
+				if v, ok := f.Sends[reduce.SendKey{From: e.From, To: e.To, R: r}]; ok {
+					expr = expr.Plus1(v)
+					terms++
+				}
+			}
+			for l := r.K; l < r.M; l++ {
+				if v, ok := f.Tasks[reduce.TaskKey{Node: node.ID, T: reduce.Task{K: r.K, L: l, M: r.M}}]; ok {
+					expr = expr.Plus1(v)
+					terms++
+				}
+			}
+			for _, e := range pr.Platform.OutEdges(node.ID) {
+				if v, ok := f.Sends[reduce.SendKey{From: e.From, To: e.To, R: r}]; ok {
+					expr = expr.Minus(rat.One(), v)
+					terms++
+				}
+			}
+			for nn := r.M + 1; nn <= n; nn++ {
+				if v, ok := f.Tasks[reduce.TaskKey{Node: node.ID, T: reduce.Task{K: r.K, L: r.M, M: nn}}]; ok {
+					expr = expr.Minus(rat.One(), v)
+					terms++
+				}
+			}
+			for nn := 0; nn < r.K; nn++ {
+				if v, ok := f.Tasks[reduce.TaskKey{Node: node.ID, T: reduce.Task{K: nn, L: r.K - 1, M: r.M}}]; ok {
+					expr = expr.Minus(rat.One(), v)
+					terms++
+				}
+			}
+			delivered := r.K == 0 && pr.Order[r.M] == node.ID
+			if delivered {
+				expr = expr.Minus(weight, tp)
+				terms++
+			}
+			if terms == 0 {
+				continue
+			}
+			m.AddConstraint(fmt.Sprintf("%sconserve(%s,%s)", label, node.Name, r), expr, lp.Eq, rat.Zero())
+		}
+	}
+}
+
+// Extract reads the fragment's solved rates into a Solution with the
+// given throughput.
+func (f *Fragment) Extract(sol *lp.Solution, tp rat.Rat, stats core.FlowStats) *Solution {
+	out := &Solution{
+		Problem: f.Problem,
+		TP:      rat.Copy(tp),
 		Sends:   make(map[reduce.SendKey]rat.Rat),
 		Tasks:   make(map[reduce.TaskKey]rat.Rat),
-		Stats:   core.FlowStats{Vars: m.NumVars(), Constraints: m.NumConstraints(), Pivots: sol.Iterations},
+		Stats:   stats,
 	}
-	for k, v := range sendVars {
+	for k, v := range f.Sends {
 		if val := sol.Value(v); val.Sign() > 0 {
 			out.Sends[k] = val
 		}
 	}
-	for k, v := range taskVars {
+	for k, v := range f.Tasks {
 		if val := sol.Value(v); val.Sign() > 0 {
 			out.Tasks[k] = val
 		}
 	}
-	return out, nil
+	return out
 }
 
 // Throughput returns TP: prefix operations per time unit.

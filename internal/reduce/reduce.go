@@ -208,16 +208,57 @@ func (pr *Problem) Solve() (*Solution, error) { return pr.SolveCtx(context.Backg
 
 // SolveCtx is Solve honoring context cancellation inside the simplex loop.
 func (pr *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
-	n := pr.N()
-	final := Range{0, n}
 	m := lp.NewMaximize()
 	tp := m.Var("TP")
 	m.SetObjective(tp, rat.One())
-
-	// Transfer variables with light pruning: the final result never
-	// leaves the target, and a leaf v[i,i] never flows into its owner.
-	sendVars := make(map[SendKey]lp.Var)
 	occ := core.NewOccupancy(pr.Platform)
+	comp := core.NewCompute(pr.Platform)
+	frag := pr.NewFragment(m, "", occ)
+	occ.AddConstraints(m)
+	frag.AddComputeVars(m, "", comp)
+	comp.AddConstraints(m)
+	frag.AddFlowConstraints(m, "", tp, rat.One())
+
+	sol, err := m.SolveCtx(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("reduce: SSR LP: %w", err)
+	}
+	if err := m.Verify(sol.Values()); err != nil {
+		return nil, fmt.Errorf("reduce: LP solution failed verification: %w", err)
+	}
+	stats := core.FlowStats{Vars: m.NumVars(), Constraints: m.NumConstraints(), Pivots: sol.Iterations}
+	return frag.Extract(sol, sol.Objective, stats), nil
+}
+
+// Fragment is one reduce instance's share of a linear program: its
+// transfer and task variables, with occupancy registered on (possibly
+// shared) port and compute builders. A single fragment on a private model
+// is exactly the plain SSR(G) program; several fragments on one model
+// superpose concurrent reduce-family collectives on the same platform
+// capacity — the construction behind reduce-scatter.
+//
+// Assembly is three-phase so shared rows aggregate every member before
+// they are emitted: NewFragment (transfer variables + port occupancy) for
+// every member, then occ.AddConstraints once; AddComputeVars (task
+// variables + compute occupancy) for every member, then comp.AddConstraints
+// once; AddFlowConstraints (conservation + throughput) for every member.
+type Fragment struct {
+	Problem *Problem
+	Sends   map[SendKey]lp.Var
+	Tasks   map[TaskKey]lp.Var
+}
+
+// NewFragment declares the transfer variables of the problem into m with
+// light pruning — the final result never leaves the target, a leaf v[i,i]
+// never flows into its owner — registering their busy time with occ. label
+// prefixes variable names so several fragments can share one model.
+func (pr *Problem) NewFragment(m *lp.Model, label string, occ *core.OccupancyBuilder) *Fragment {
+	final := Range{0, pr.N()}
+	f := &Fragment{
+		Problem: pr,
+		Sends:   make(map[SendKey]lp.Var),
+		Tasks:   make(map[TaskKey]lp.Var),
+	}
 	for _, e := range pr.Platform.Edges() {
 		for _, r := range pr.Ranges() {
 			if r == final && e.From == pr.Target {
@@ -227,28 +268,38 @@ func (pr *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 				continue
 			}
 			k := SendKey{e.From, e.To, r}
-			v := m.Var(fmt.Sprintf("send(%s->%s,%s)",
+			v := m.Var(fmt.Sprintf("%ssend(%s->%s,%s)", label,
 				pr.Platform.Node(e.From).Name, pr.Platform.Node(e.To).Name, r))
-			sendVars[k] = v
+			f.Sends[k] = v
 			occ.Add(e.From, e.To, v, rat.Mul(pr.SizeOf(r), e.Cost))
 		}
 	}
-	occ.AddConstraints(m)
+	return f
+}
 
-	// Computation variables and the α(P_i) ≤ 1 occupation constraint
-	// (equations (7) and (9), with α substituted out).
-	taskVars := make(map[TaskKey]lp.Var)
+// AddComputeVars declares the computation variables (equations (7) and
+// (9), with α substituted out), registering each task's time with comp.
+func (f *Fragment) AddComputeVars(m *lp.Model, label string, comp *core.ComputeBuilder) {
+	pr := f.Problem
 	for _, node := range pr.computeNodes() {
-		alpha := lp.NewExpr()
 		for _, t := range pr.Tasks() {
 			k := TaskKey{node, t}
-			v := m.Var(fmt.Sprintf("cons(%s,%s)", pr.Platform.Node(node).Name, t))
-			taskVars[k] = v
-			alpha = alpha.Plus(pr.TaskTime(node, t), v)
+			v := m.Var(fmt.Sprintf("%scons(%s,%s)", label, pr.Platform.Node(node).Name, t))
+			f.Tasks[k] = v
+			comp.Add(node, v, pr.TaskTime(node, t))
 		}
-		m.AddConstraint(fmt.Sprintf("compute(%s)", pr.Platform.Node(node).Name),
-			alpha, lp.Leq, rat.One())
 	}
+}
+
+// AddFlowConstraints adds the conservation law (10) and the throughput
+// equation (11), with the delivered rate of final results constrained to
+// weight·tp. With weight 1 on a private model this is the plain SSR
+// program; in a shared model, weight scales the member's rate relative to
+// the common objective tp.
+func (f *Fragment) AddFlowConstraints(m *lp.Model, label string, tp lp.Var, weight rat.Rat) {
+	pr := f.Problem
+	n := pr.N()
+	final := Range{0, n}
 
 	// Conservation law (10) at every node for every range, except the
 	// unlimited leaf at its owner and the final result at the target.
@@ -264,21 +315,21 @@ func (pr *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 			size := 0
 			// Inflow.
 			for _, e := range pr.Platform.InEdges(node.ID) {
-				if v, ok := sendVars[SendKey{e.From, e.To, r}]; ok {
+				if v, ok := f.Sends[SendKey{e.From, e.To, r}]; ok {
 					expr = expr.Plus1(v)
 					size++
 				}
 			}
 			// Production: tasks T_{k,l,m} with result [k,m] = r.
 			for l := r.K; l < r.M; l++ {
-				if v, ok := taskVars[TaskKey{node.ID, Task{r.K, l, r.M}}]; ok {
+				if v, ok := f.Tasks[TaskKey{node.ID, Task{r.K, l, r.M}}]; ok {
 					expr = expr.Plus1(v)
 					size++
 				}
 			}
 			// Outflow.
 			for _, e := range pr.Platform.OutEdges(node.ID) {
-				if v, ok := sendVars[SendKey{e.From, e.To, r}]; ok {
+				if v, ok := f.Sends[SendKey{e.From, e.To, r}]; ok {
 					expr = expr.Minus(rat.One(), v)
 					size++
 				}
@@ -286,13 +337,13 @@ func (pr *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 			// Consumption: as left operand T_{k,m,n} (n > m) or as right
 			// operand T_{n,k-1,m} (n < k).
 			for nn := r.M + 1; nn <= n; nn++ {
-				if v, ok := taskVars[TaskKey{node.ID, Task{r.K, r.M, nn}}]; ok {
+				if v, ok := f.Tasks[TaskKey{node.ID, Task{r.K, r.M, nn}}]; ok {
 					expr = expr.Minus(rat.One(), v)
 					size++
 				}
 			}
 			for nn := 0; nn < r.K; nn++ {
-				if v, ok := taskVars[TaskKey{node.ID, Task{nn, r.K - 1, r.M}}]; ok {
+				if v, ok := f.Tasks[TaskKey{node.ID, Task{nn, r.K - 1, r.M}}]; ok {
 					expr = expr.Minus(rat.One(), v)
 					size++
 				}
@@ -300,52 +351,48 @@ func (pr *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 			if size == 0 {
 				continue
 			}
-			m.AddConstraint(fmt.Sprintf("conserve(%s,%s)", node.Name, r), expr, lp.Eq, rat.Zero())
+			m.AddConstraint(fmt.Sprintf("%sconserve(%s,%s)", label, node.Name, r), expr, lp.Eq, rat.Zero())
 		}
 	}
 
 	// Throughput (11): final results reaching the target by transfer or
 	// by local computation.
-	tpExpr := lp.NewExpr().Minus(rat.One(), tp)
+	tpExpr := lp.NewExpr().Minus(weight, tp)
 	for _, e := range pr.Platform.InEdges(pr.Target) {
-		if v, ok := sendVars[SendKey{e.From, e.To, final}]; ok {
+		if v, ok := f.Sends[SendKey{e.From, e.To, final}]; ok {
 			tpExpr = tpExpr.Plus1(v)
 		}
 	}
 	for l := 0; l < n; l++ {
-		if v, ok := taskVars[TaskKey{pr.Target, Task{0, l, n}}]; ok {
+		if v, ok := f.Tasks[TaskKey{pr.Target, Task{0, l, n}}]; ok {
 			tpExpr = tpExpr.Plus1(v)
 		}
 	}
-	m.AddConstraint("throughput", tpExpr, lp.Eq, rat.Zero())
+	m.AddConstraint(label+"throughput", tpExpr, lp.Eq, rat.Zero())
+}
 
-	sol, err := m.SolveCtx(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("reduce: SSR LP: %w", err)
-	}
-	if err := m.Verify(sol.Values()); err != nil {
-		return nil, fmt.Errorf("reduce: LP solution failed verification: %w", err)
-	}
-
+// Extract reads the fragment's solved rates into a Solution with the
+// given throughput, canceling zero-net send circulations.
+func (f *Fragment) Extract(sol *lp.Solution, tp rat.Rat, stats core.FlowStats) *Solution {
 	out := &Solution{
-		Problem: pr,
-		TP:      rat.Copy(sol.Objective),
+		Problem: f.Problem,
+		TP:      rat.Copy(tp),
 		Sends:   make(map[SendKey]rat.Rat),
 		Tasks:   make(map[TaskKey]rat.Rat),
-		Stats:   core.FlowStats{Vars: m.NumVars(), Constraints: m.NumConstraints(), Pivots: sol.Iterations},
+		Stats:   stats,
 	}
-	for k, v := range sendVars {
+	for k, v := range f.Sends {
 		if val := sol.Value(v); val.Sign() > 0 {
 			out.Sends[k] = val
 		}
 	}
-	for k, v := range taskVars {
+	for k, v := range f.Tasks {
 		if val := sol.Value(v); val.Sign() > 0 {
 			out.Tasks[k] = val
 		}
 	}
 	out.cancelCycles()
-	return out, nil
+	return out
 }
 
 // cancelCycles removes zero-net send circulations per range (the simplex

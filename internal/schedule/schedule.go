@@ -92,6 +92,63 @@ func FromFlow[C comparable](flow *core.Flow[C], sizeOf func(C) rat.Rat, label fu
 	return assemble(flow.Platform, period, transfers, nil, nNodes)
 }
 
+// FlowTransfer is one typed steady-state message stream contributed to a
+// merged schedule: Rate messages of the given Size per time unit on the
+// edge From→To.
+type FlowTransfer struct {
+	From, To graph.NodeID
+	Label    string
+	Size     rat.Rat
+	Rate     rat.Rat
+}
+
+// MemberFlow is one collective's demand inside a merged schedule: its
+// typed transfers plus (for reduce-family members) the per-node compute
+// occupation per time unit.
+type MemberFlow struct {
+	Transfers []FlowTransfer
+	// ComputeTime maps a node to its compute busy fraction (≤ 1); it is
+	// scaled by the period into the schedule's ComputeLoad.
+	ComputeTime map[graph.NodeID]rat.Rat
+}
+
+// MergeFlows builds one periodic schedule for several collectives
+// superposed on the same platform: the union of every member's transfers
+// over the common integer period (normally the LCM of the member periods)
+// is decomposed into one sequence of one-port-safe matching slots. The
+// members must jointly satisfy the shared one-port constraints — as
+// solutions of one shared-capacity LP do — or the decomposition fails with
+// the port whose busy time overruns the period.
+func MergeFlows(p *graph.Platform, period *big.Int, members []MemberFlow) (*Schedule, error) {
+	per := new(big.Rat).SetInt(period)
+	var transfers []matching.Transfer
+	computeLoad := make(map[graph.NodeID]rat.Rat)
+	for _, mem := range members {
+		for _, tr := range mem.Transfers {
+			cost := p.Cost(tr.From, tr.To)
+			count := rat.Mul(tr.Rate, per) // messages per period
+			unit := rat.Mul(tr.Size, cost) // time per message
+			weight := rat.Mul(count, unit) // busy time per period
+			transfers = append(transfers, matching.Transfer{
+				Sender:   int(tr.From),
+				Receiver: int(tr.To),
+				Weight:   weight,
+				Payload:  payload{label: tr.Label, perTime: rat.Inv(unit)},
+			})
+		}
+		for id, busy := range mem.ComputeTime {
+			if computeLoad[id] == nil {
+				computeLoad[id] = rat.Zero()
+			}
+			computeLoad[id].Add(computeLoad[id], rat.Mul(busy, per))
+		}
+	}
+	if len(computeLoad) == 0 {
+		computeLoad = nil
+	}
+	return assemble(p, per, transfers, computeLoad, p.NumNodes())
+}
+
 // assemble runs the matching decomposition and lays out the slots.
 func assemble(p *graph.Platform, period rat.Rat, transfers []matching.Transfer,
 	computeLoad map[graph.NodeID]rat.Rat, nNodes int) (*Schedule, error) {

@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"math/big"
 	"strings"
 	"testing"
 
@@ -170,5 +171,61 @@ func TestScheduleFromGossipFlow(t *testing.T) {
 	// All 6 streams appear.
 	if got := len(sched.TotalMessages()); got != 6 {
 		t.Errorf("labels = %d, want 6", got)
+	}
+}
+
+// TestMergeFlows merges two members sharing one platform: the union must
+// decompose into valid matchings, keep per-member labels, and scale the
+// compute load by the period.
+func TestMergeFlows(t *testing.T) {
+	p := graph.New()
+	a := p.AddNode("a", rat.One())
+	b := p.AddNode("b", rat.One())
+	c := p.AddNode("c", rat.One())
+	p.AddLink(a, b, rat.New(1, 2))
+	p.AddLink(b, c, rat.New(1, 2))
+
+	// Member 0 streams a→b at rate 1 (busy 1/2); member 1 streams b→c at
+	// rate 1/2 and computes at c for 1/4 per time unit.
+	members := []MemberFlow{
+		{Transfers: []FlowTransfer{{From: a, To: b, Label: "op0:x", Size: rat.One(), Rate: rat.One()}}},
+		{
+			Transfers:   []FlowTransfer{{From: b, To: c, Label: "op1:y", Size: rat.One(), Rate: rat.New(1, 2)}},
+			ComputeTime: map[graph.NodeID]rat.Rat{c: rat.New(1, 4)},
+		},
+	}
+	sched, err := MergeFlows(p, big.NewInt(4), members)
+	if err != nil {
+		t.Fatalf("MergeFlows: %v", err)
+	}
+	if err := sched.Verify(); err != nil {
+		t.Fatalf("merged schedule invalid: %v", err)
+	}
+	totals := sched.TotalMessages()
+	if got := totals["op0:x"]; got == nil || !rat.Eq(got, rat.Int(4)) {
+		t.Errorf("op0:x moved %v messages per period, want 4", got)
+	}
+	if got := totals["op1:y"]; got == nil || !rat.Eq(got, rat.Int(2)) {
+		t.Errorf("op1:y moved %v messages per period, want 2", got)
+	}
+	if got := sched.ComputeLoad[c]; got == nil || !rat.Eq(got, rat.One()) {
+		t.Errorf("compute load at c = %v, want 1 (1/4 · period 4)", got)
+	}
+}
+
+// TestMergeFlowsRejectsOverload: members that jointly oversubscribe a
+// port cannot be laid out in the period.
+func TestMergeFlowsRejectsOverload(t *testing.T) {
+	p := graph.New()
+	a := p.AddNode("a", rat.One())
+	b := p.AddNode("b", rat.One())
+	p.AddLink(a, b, rat.One())
+
+	members := []MemberFlow{
+		{Transfers: []FlowTransfer{{From: a, To: b, Label: "op0:x", Size: rat.One(), Rate: rat.New(3, 4)}}},
+		{Transfers: []FlowTransfer{{From: a, To: b, Label: "op1:y", Size: rat.One(), Rate: rat.New(1, 2)}}},
+	}
+	if _, err := MergeFlows(p, big.NewInt(4), members); err == nil {
+		t.Fatal("oversubscribed port should fail to decompose")
 	}
 }

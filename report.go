@@ -27,7 +27,8 @@ type jsonScenario struct {
 }
 
 // MarshalJSON serializes the scenario; the platform keeps its exact
-// rational costs and speeds.
+// rational costs and speeds. The output is compact — top-level and nested
+// serialization agree byte for byte, and writers indent at the edge.
 func (sc *Scenario) MarshalJSON() ([]byte, error) {
 	if sc.Platform == nil {
 		return nil, fmt.Errorf("steadystate: scenario has no platform")
@@ -45,7 +46,7 @@ func (sc *Scenario) MarshalJSON() ([]byte, error) {
 			return nil, err
 		}
 	}
-	return json.MarshalIndent(js, "", "  ")
+	return json.Marshal(js)
 }
 
 // UnmarshalJSON deserializes a scenario produced by MarshalJSON.
@@ -98,6 +99,12 @@ type Report struct {
 	FixedPeriod     string `json:"fixed_period,omitempty"`
 	FixedThroughput string `json:"fixed_throughput,omitempty"`
 	FixedLoss       string `json:"fixed_loss,omitempty"`
+	// Members summarizes each member of a composite or reduce-scatter
+	// solve: one report per member collective, solved jointly.
+	Members []*Report `json:"members,omitempty"`
+	// Weight is the member's weight within its composite (member reports
+	// only), as an exact rational string.
+	Weight string `json:"weight,omitempty"`
 }
 
 // newReport fills the fields every kind shares.

@@ -23,8 +23,14 @@
 //     v[k,m] and merge tasks T_{k,l,m}; ExtractTrees certifies them as a
 //     small weighted family of reduction trees (Theorem 1).
 //   - Parallel prefix (Section 6 extension): every rank i receives v[0,i].
+//   - Reduce-scatter: each rank i of the order keeps segment i reduced
+//     over all ranks — the composite of N concurrent reduces sharing the
+//     platform's port and compute capacity.
+//   - Composite: any weighted superposition of the base collectives,
+//     solved as one LP with shared capacity rows and a common (weighted)
+//     throughput.
 //
-// All five collectives are instances of one steady-state framework (a
+// All of these collectives are instances of one steady-state framework (a
 // linear program over the same platform graph), and the API reflects
 // that: a Spec names the collective (kind + roles), the single entry
 // point Solve computes its optimal throughput, and the returned Solution
@@ -45,6 +51,17 @@
 //	p, order, target := steadystate.PaperFig9()
 //	sol, _ := steadystate.Solve(ctx, p, steadystate.ReduceSpec(order, target),
 //	    steadystate.WithMessageSize(steadystate.PaperFig9MessageSize()))
+//
+// Concurrent collectives superpose through CompositeSpec (arbitrary
+// weighted members) or ReduceScatterSpec; the returned Solution
+// additionally implements Concurrent, exposing each member as a full
+// per-kind Solution, and Schedule merges every member's transfers into
+// one one-port-safe slot sequence:
+//
+//	sol, _ := steadystate.Solve(ctx, p, steadystate.ReduceScatterSpec(order...))
+//	for _, member := range sol.(steadystate.Concurrent).Members() {
+//	    fmt.Println(member.Spec().Target, member.Throughput())
+//	}
 //
 // For repeated solves on one platform (sweeps, services), a Solver
 // session reuses per-platform state and is safe for concurrent use:
@@ -78,6 +95,7 @@ import (
 	"math/big"
 
 	"repro/internal/baseline"
+	"repro/internal/composite"
 	"repro/internal/core"
 	"repro/internal/gossip"
 	"repro/internal/graph"
@@ -225,6 +243,22 @@ func ApproximateFixedPeriod(app *ReduceApplication, trees []*ReductionTree, fixe
 func VerifyTreeDecomposition(app *ReduceApplication, trees []*ReductionTree) error {
 	return reduce.VerifyDecomposition(app, trees)
 }
+
+// ---------------------------------------------------------------------------
+// Concurrent collectives (composite / reduce-scatter)
+
+// CompositeProblem is a set of collectives solved as one steady-state LP
+// with shared one-port and compute capacity; build one through Solve with
+// CompositeSpec or ReduceScatterSpec.
+type CompositeProblem = composite.Problem
+
+// CompositeSolution is a solved composite: the common base throughput TP
+// (member i runs at Weight_i·TP) and the per-member sub-solutions. It is
+// what a composite or reduce-scatter Solution unwraps to.
+type CompositeSolution = composite.Solution
+
+// CompositeMemberSolution is one member's share of a solved composite.
+type CompositeMemberSolution = composite.MemberSolution
 
 // ---------------------------------------------------------------------------
 // Parallel prefix (Section 6 extension)
