@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/big"
 	"sync"
+	"time"
 
 	"repro/internal/composite"
 	"repro/internal/gossip"
@@ -442,8 +443,22 @@ func NewSolver(p *Platform) *Solver {
 func (s *Solver) Platform() *Platform { return s.p }
 
 // Solve solves one spec on the session's platform. See the package-level
-// Solve for semantics.
+// Solve for semantics. The wall-clock duration of the call is recorded on
+// the solution and surfaced as Report().SolveMS, so sweep drivers can
+// aggregate solver cost without timing every call themselves.
 func (s *Solver) Solve(ctx context.Context, spec Spec, opts ...SolveOption) (Solution, error) {
+	start := time.Now()
+	sol, err := s.solve(ctx, spec, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if t, ok := sol.(durationRecorder); ok {
+		t.setSolveDuration(time.Since(start))
+	}
+	return sol, nil
+}
+
+func (s *Solver) solve(ctx context.Context, spec Spec, opts ...SolveOption) (Solution, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -593,7 +608,20 @@ func (s *Solver) solveComposite(ctx context.Context, spec Spec, memberSpecs []Sp
 // ---------------------------------------------------------------------------
 // Kind-specific Solution implementations
 
+// timed stores the wall-clock duration of the Solve call that produced a
+// solution; every kind-specific solution embeds it so Report can carry
+// the solver cost alongside the LP counters.
+type timed struct{ dur time.Duration }
+
+// durationRecorder is satisfied by all kind-specific solutions via the
+// embedded timed.
+type durationRecorder interface{ setSolveDuration(time.Duration) }
+
+func (t *timed) setSolveDuration(d time.Duration) { t.dur = d }
+func (t *timed) solveMS() float64                 { return float64(t.dur) / float64(time.Millisecond) }
+
 type scatterSolution struct {
+	timed
 	spec Spec
 	sol  *ScatterSolution
 }
@@ -608,10 +636,13 @@ func (s *scatterSolution) Verify() error                { return s.sol.Verify() 
 func (s *scatterSolution) Unwrap() any                  { return s.sol }
 func (s *scatterSolution) String() string               { return s.sol.String() }
 func (s *scatterSolution) Report() (*Report, error) {
-	return newReport(KindScatter, s.sol.Throughput(), s.sol.Period(), s.sol.Stats), nil
+	r := newReport(KindScatter, s.sol.Throughput(), s.sol.Period(), s.sol.Stats)
+	r.SolveMS = s.solveMS()
+	return r, nil
 }
 
 type gossipSolution struct {
+	timed
 	spec Spec
 	sol  *GossipSolution
 }
@@ -626,10 +657,13 @@ func (s *gossipSolution) Verify() error                { return s.sol.Verify() }
 func (s *gossipSolution) Unwrap() any                  { return s.sol }
 func (s *gossipSolution) String() string               { return s.sol.String() }
 func (s *gossipSolution) Report() (*Report, error) {
-	return newReport(KindGossip, s.sol.Throughput(), s.sol.Period(), s.sol.Stats), nil
+	r := newReport(KindGossip, s.sol.Throughput(), s.sol.Period(), s.sol.Stats)
+	r.SolveMS = s.solveMS()
+	return r, nil
 }
 
 type reduceSolution struct {
+	timed
 	spec  Spec
 	sol   *ReduceSolution
 	fixed *big.Int
@@ -696,6 +730,7 @@ func (s *reduceSolution) Report() (*Report, error) {
 		return nil, s.err
 	}
 	r := newReport(s.spec.Kind, s.sol.Throughput(), s.sol.Period(), s.sol.Stats)
+	r.SolveMS = s.solveMS()
 	r.Trees = len(s.trees)
 	if s.plan != nil {
 		r.FixedPeriod = s.plan.Period.String()
@@ -706,6 +741,7 @@ func (s *reduceSolution) Report() (*Report, error) {
 }
 
 type prefixSolution struct {
+	timed
 	spec Spec
 	sol  *PrefixSolution
 }
@@ -724,7 +760,9 @@ func (s *prefixSolution) SimModel() (*SimModel, error) {
 	return nil, fmt.Errorf("prefix protocol simulation: %w", ErrUnsupported)
 }
 func (s *prefixSolution) Report() (*Report, error) {
-	return newReport(KindPrefix, s.sol.Throughput(), s.sol.Period(), s.sol.Stats), nil
+	r := newReport(KindPrefix, s.sol.Throughput(), s.sol.Period(), s.sol.Stats)
+	r.SolveMS = s.solveMS()
+	return r, nil
 }
 
 // Concurrent is implemented by composite and reduce-scatter solutions:
@@ -736,6 +774,7 @@ type Concurrent interface {
 }
 
 type compositeSolution struct {
+	timed
 	spec        Spec
 	memberSpecs []Spec
 	sol         *composite.Solution
@@ -786,6 +825,7 @@ func (s *compositeSolution) Members() []Solution {
 // Members()[i].(Certified) without the extraction cost here).
 func (s *compositeSolution) Report() (*Report, error) {
 	r := newReport(s.spec.Kind, s.sol.TP, s.sol.Period(), s.sol.Stats)
+	r.SolveMS = s.solveMS()
 	for i, ms := range s.sol.Members {
 		mr := newReport(s.memberSpecs[i].Kind, ms.Throughput, ms.Period(), s.sol.Stats)
 		mr.Weight = ms.Weight.RatString()

@@ -1,0 +1,147 @@
+// Command sweep runs the sharded scenario-sweep engine (internal/sweep)
+// over a batch of scenario files: every scenario is solved through a
+// shared, platform-deduplicated Solver session pool with bounded
+// parallelism, and the outcomes are aggregated into one deterministic
+// SweepReport (per-kind throughput table, LP cost counters, solve-time
+// percentiles, failure list). Malformed or unsolvable scenarios land in
+// the failure list; they never abort the sweep.
+//
+// Usage:
+//
+//	sweep -dir scenarios/                      # sweep every *.json in a directory
+//	sweep -dir scenarios/ -glob 'tiers-*.json' # restrict by glob
+//	sweep a.json b.json c.json                 # sweep explicit files
+//	sweep -dir s/ -jobs 8 -timeout 30s         # 8 workers, 30s per solve
+//	sweep -dir s/ -shard 0/4                   # this process solves shard 0 of 4
+//	sweep -dir s/ -out report.json -jsonl log.jsonl
+//
+// The end-to-end pipeline from a single seed (generate → sweep):
+//
+//	topogen -kind tiers -count 16 -seed 42 -spec -op scatter -out scenarios/
+//	sweep -dir scenarios/ -jobs 8 -out report.json
+//
+// Everything in the report except its "timing" block is deterministic:
+// -jobs 1 and -jobs 8 produce identical aggregates, and complementary
+// -shard i/n runs union to the full result set. The JSONL stream (-jsonl)
+// is the live view — one line per completed scenario, in completion
+// order, each carrying the full solution report or the error.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+func main() {
+	// Ctrl-C cancels the run context: workers stop, the partial report
+	// and JSONL lines written so far survive.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool; factored out of main for testability.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir     = fs.String("dir", "", "directory of scenario JSON files to sweep")
+		glob    = fs.String("glob", "*.json", "base-name glob selecting files within -dir")
+		jobs    = fs.Int("jobs", 0, "max concurrent solves (0: GOMAXPROCS)")
+		shard   = fs.String("shard", "", "solve shard i of n, as \"i/n\" (deterministic split of the name-sorted batch)")
+		timeout = fs.Duration("timeout", 0, "per-solve deadline (0: none)")
+		out     = fs.String("out", "", "write the aggregated SweepReport JSON here (default stdout)")
+		jsonl   = fs.String("jsonl", "", "stream one JSON line per completed scenario to this file (\"-\": stderr)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var jobsList []sweep.Job
+	if *dir != "" {
+		loaded, err := sweep.LoadDir(*dir, *glob)
+		if err != nil {
+			return err
+		}
+		jobsList = loaded
+	}
+	jobsList = append(jobsList, sweep.LoadFiles(fs.Args())...)
+	if len(jobsList) == 0 {
+		return fmt.Errorf("no scenarios to sweep (use -dir and/or file arguments)")
+	}
+
+	opts := sweep.Options{Jobs: *jobs, SolveTimeout: *timeout}
+	if *shard != "" {
+		// Strict i/n parsing: trailing garbage must not silently run the
+		// wrong split in a multi-process deployment.
+		i, n, ok := strings.Cut(*shard, "/")
+		var err1, err2 error
+		if ok {
+			opts.ShardIndex, err1 = strconv.Atoi(i)
+			opts.ShardCount, err2 = strconv.Atoi(n)
+		}
+		if !ok || err1 != nil || err2 != nil {
+			return fmt.Errorf("bad -shard %q (want \"i/n\")", *shard)
+		}
+		if opts.ShardCount < 1 || opts.ShardIndex < 0 || opts.ShardIndex >= opts.ShardCount {
+			return fmt.Errorf("bad -shard %q: index must be in [0,n)", *shard)
+		}
+	}
+	switch *jsonl {
+	case "":
+	case "-":
+		opts.JSONL = stderr
+	default:
+		f, err := os.Create(*jsonl)
+		if err != nil {
+			return fmt.Errorf("create -jsonl: %w", err)
+		}
+		defer f.Close()
+		opts.JSONL = f
+	}
+
+	start := time.Now()
+	report, runErr := sweep.Run(ctx, jobsList, opts)
+	if report == nil {
+		return runErr
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		if _, err := stdout.Write(data); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", *out, err)
+	}
+
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(stderr, "sweep: %d scenarios, %d solved, %d failed, %d platform(s), %d workers in %v\n",
+		report.Scenarios, report.Solved, report.Failed, report.Platforms,
+		workers, time.Since(start).Round(time.Millisecond))
+	if runErr != nil {
+		return fmt.Errorf("sweep interrupted (partial report written): %w", runErr)
+	}
+	return nil
+}

@@ -9,15 +9,23 @@
 //	topogen -kind star -n 8
 //	topogen -kind fig9 -dot
 //	topogen -kind tiers -spec -op reduce -out scenario.json
+//	topogen -kind tiers -count 16 -seed 42 -spec -op scatter -out scenarios/
 //
 // Kinds: star, chain, ring, grid, tree, connected, tiers, fig2, fig6, fig9.
 //
 // With -spec the output is a scenario file — the platform plus the spec
 // of a collective to solve on it (-op
-// scatter|gossip|reduce|gather|prefix|reducescatter) — which cmd/sscollect
-// and cmd/paperbench consume directly. Composite scenarios (several
-// weighted member collectives) are built programmatically with
+// scatter|gossip|reduce|gather|prefix|reducescatter) — which cmd/sscollect,
+// cmd/paperbench and cmd/sweep consume directly. Composite scenarios
+// (several weighted member collectives) are built programmatically with
 // CompositeSpec and serialize through the same format.
+//
+// With -count N, topogen synthesizes a scenario batch for cmd/sweep:
+// -out names a directory (created if missing) receiving N numbered
+// scenario files <kind>-0000.json … <kind>-NNNN.json, scenario i
+// generated with seed S+i. Batches are fully deterministic — the same
+// -seed reproduces byte-identical files — so an entire sweep is
+// reproducible from a single seed.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	steadystate "repro"
 	"repro/internal/topology"
@@ -55,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		dot      = fs.Bool("dot", false, "emit Graphviz DOT instead of JSON")
 		withSpec = fs.Bool("spec", false, "emit a scenario (platform + collective spec) instead of a bare platform")
 		op       = fs.String("op", "", "collective kind for -spec: scatter|gossip|reduce|gather|prefix|reducescatter (default: the figure's canonical collective, else scatter)")
+		count    = fs.Int("count", 0, "emit a batch of this many numbered scenario files into the -out directory, scenario i seeded with -seed+i")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,48 +79,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("bad -speed: %w", err)
 	}
 
-	var p *steadystate.Platform
-	// Figure platforms carry canonical roles for spec emission.
-	var figSpec *steadystate.Spec
-	// The paper's figure platforms are intentionally one-directional
-	// (scatter-only edges), which the mutual-connectivity check rejects.
-	validate := true
-	switch *kind {
-	case "star":
-		p = steadystate.Star(*n, c, s)
-	case "chain":
-		p = steadystate.Chain(*n, c, s)
-	case "ring":
-		p = steadystate.Ring(*n, c, s)
-	case "grid":
-		p = steadystate.Grid2D(*rows, *cols, c, s)
-	case "tree":
-		p = topology.RandomTree(*n, topology.DefaultRandomConfig(*seed))
-	case "connected":
-		p = topology.RandomConnected(*n, *extra, topology.DefaultRandomConfig(*seed))
-	case "tiers":
-		p = steadystate.Tiers(steadystate.DefaultTiersConfig(*seed))
-	case "fig2":
-		var src steadystate.NodeID
-		var tgts []steadystate.NodeID
-		p, src, tgts = steadystate.PaperFig2()
-		s := steadystate.ScatterSpec(src, tgts...)
-		figSpec = &s
-		validate = false
-	case "fig6":
-		var order []steadystate.NodeID
-		var tgt steadystate.NodeID
-		p, order, tgt = steadystate.PaperFig6()
-		s := steadystate.ReduceSpec(order, tgt)
-		figSpec = &s
-	case "fig9":
-		var order []steadystate.NodeID
-		var tgt steadystate.NodeID
-		p, order, tgt = steadystate.PaperFig9()
-		s := steadystate.ReduceSpec(order, tgt)
-		figSpec = &s
-	default:
-		return fmt.Errorf("unknown -kind %q", *kind)
+	cfg := genConfig{kind: *kind, n: *n, rows: *rows, cols: *cols, extra: *extra, cost: c, speed: s}
+	if *count > 0 {
+		if *dot {
+			return fmt.Errorf("-count emits scenario batches, not DOT")
+		}
+		return runBatch(cfg, *count, *seed, steadystate.Kind(*op), *out, stderr)
+	}
+
+	p, figSpec, validate, err := cfg.build(*seed)
+	if err != nil {
+		return err
 	}
 	if validate {
 		if err := p.Validate(); err != nil {
@@ -150,6 +129,106 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("write %s: %w", *out, err)
 	}
 	fmt.Fprintf(stderr, "wrote %s (%d nodes, %d edges)\n", *out, p.NumNodes(), p.NumEdges())
+	return nil
+}
+
+// genConfig is everything platform construction needs besides the seed,
+// so batch generation can rebuild the same family with per-scenario
+// seeds.
+type genConfig struct {
+	kind        string
+	n           int
+	rows, cols  int
+	extra       float64
+	cost, speed steadystate.Rat
+}
+
+// build constructs one platform of the configured kind with the given
+// seed. Figure platforms come back with their canonical spec; validate
+// reports whether the platform should pass the mutual-connectivity check
+// (the paper's figure platforms are intentionally one-directional).
+func (g genConfig) build(seed int64) (p *steadystate.Platform, figSpec *steadystate.Spec, validate bool, err error) {
+	validate = true
+	switch g.kind {
+	case "star":
+		p = steadystate.Star(g.n, g.cost, g.speed)
+	case "chain":
+		p = steadystate.Chain(g.n, g.cost, g.speed)
+	case "ring":
+		p = steadystate.Ring(g.n, g.cost, g.speed)
+	case "grid":
+		p = steadystate.Grid2D(g.rows, g.cols, g.cost, g.speed)
+	case "tree":
+		p = topology.RandomTree(g.n, topology.DefaultRandomConfig(seed))
+	case "connected":
+		p = topology.RandomConnected(g.n, g.extra, topology.DefaultRandomConfig(seed))
+	case "tiers":
+		p = steadystate.Tiers(steadystate.DefaultTiersConfig(seed))
+	case "fig2":
+		var src steadystate.NodeID
+		var tgts []steadystate.NodeID
+		p, src, tgts = steadystate.PaperFig2()
+		s := steadystate.ScatterSpec(src, tgts...)
+		figSpec = &s
+		validate = false
+	case "fig6":
+		var order []steadystate.NodeID
+		var tgt steadystate.NodeID
+		p, order, tgt = steadystate.PaperFig6()
+		s := steadystate.ReduceSpec(order, tgt)
+		figSpec = &s
+	case "fig9":
+		var order []steadystate.NodeID
+		var tgt steadystate.NodeID
+		p, order, tgt = steadystate.PaperFig9()
+		s := steadystate.ReduceSpec(order, tgt)
+		figSpec = &s
+	default:
+		return nil, nil, false, fmt.Errorf("unknown -kind %q", g.kind)
+	}
+	return p, figSpec, validate, nil
+}
+
+// runBatch synthesizes a deterministic scenario batch for cmd/sweep:
+// count numbered files in the out directory, scenario i built with seed
+// base+i. The same base seed reproduces byte-identical files.
+func runBatch(cfg genConfig, count int, baseSeed int64, op steadystate.Kind, out string, stderr io.Writer) error {
+	if out == "" {
+		return fmt.Errorf("-count needs -out (a directory for the scenario files)")
+	}
+	for i := 0; i < count; i++ {
+		p, figSpec, validate, err := cfg.build(baseSeed + int64(i))
+		if err != nil {
+			return err
+		}
+		if validate {
+			if err := p.Validate(); err != nil {
+				return fmt.Errorf("scenario %d: generated platform invalid: %w", i, err)
+			}
+		}
+		spec, err := defaultSpec(p, op, figSpec)
+		if err != nil {
+			return fmt.Errorf("scenario %d: %w", i, err)
+		}
+		sc := &steadystate.Scenario{Platform: p, Spec: spec}
+		data, err := json.MarshalIndent(sc, "", "  ")
+		if err != nil {
+			return fmt.Errorf("scenario %d: marshal: %w", i, err)
+		}
+		if i == 0 {
+			// Create the directory only once the first scenario exists, so
+			// flag mistakes don't leave empty directories behind.
+			if err := os.MkdirAll(out, 0o755); err != nil {
+				return fmt.Errorf("create -out directory: %w", err)
+			}
+		}
+		path := filepath.Join(out, fmt.Sprintf("%s-%04d.json", cfg.kind, i))
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+	}
+	fmt.Fprintf(stderr, "wrote %d %s scenarios to %s (seeds %d..%d)\n",
+		count, cfg.kind, out, baseSeed, baseSeed+int64(count)-1)
 	return nil
 }
 

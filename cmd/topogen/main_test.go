@@ -97,6 +97,75 @@ func TestEmitScenarioFigureKeepsCanonicalRoles(t *testing.T) {
 	}
 }
 
+// TestBatchDeterminism: topogen -count must be reproducible from its
+// seed alone — two runs with the same seed emit byte-identical files, a
+// different seed changes the random platforms.
+func TestBatchDeterminism(t *testing.T) {
+	gen := func(dir string, seed string) map[string][]byte {
+		t.Helper()
+		runOK(t, "-kind", "tiers", "-count", "4", "-seed", seed, "-spec", "-op", "scatter", "-out", dir)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files := make(map[string][]byte)
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			files[e.Name()] = data
+		}
+		return files
+	}
+
+	a := gen(t.TempDir(), "42")
+	b := gen(t.TempDir(), "42")
+	c := gen(t.TempDir(), "43")
+	if len(a) != 4 {
+		t.Fatalf("batch emitted %d files, want 4", len(a))
+	}
+	differsFromC := false
+	for name, data := range a {
+		if !bytes.Equal(data, b[name]) {
+			t.Errorf("same seed produced different bytes for %s", name)
+		}
+		if !bytes.Equal(data, c[name]) {
+			differsFromC = true
+		}
+		// Every batch file must be a solvable scenario — the batch is the
+		// input contract of cmd/sweep.
+		var sc steadystate.Scenario
+		if err := json.Unmarshal(data, &sc); err != nil {
+			t.Fatalf("%s is not a scenario: %v", name, err)
+		}
+		if _, err := sc.Solve(context.Background()); err != nil {
+			t.Errorf("%s does not solve: %v", name, err)
+		}
+	}
+	if !differsFromC {
+		t.Error("changing the seed changed nothing; batch seeding is broken")
+	}
+}
+
+// TestBatchScenariosDifferWithinBatch: scenario i is seeded with seed+i,
+// so a random family produces distinct platforms within one batch.
+func TestBatchScenariosDifferWithinBatch(t *testing.T) {
+	dir := t.TempDir()
+	runOK(t, "-kind", "connected", "-n", "6", "-count", "2", "-seed", "7", "-spec", "-out", dir)
+	a, err := os.ReadFile(filepath.Join(dir, "connected-0000.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "connected-0001.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Error("scenarios 0 and 1 of a random batch are identical; per-scenario seeding is broken")
+	}
+}
+
 func TestErrors(t *testing.T) {
 	cases := [][]string{
 		{"-kind", "nope"},
@@ -104,6 +173,9 @@ func TestErrors(t *testing.T) {
 		{"-speed", "garbage"},
 		{"-badflag"},
 		{"-kind", "star", "-n", "4", "-spec", "-op", "nope"},
+		{"-kind", "tiers", "-count", "2"},         // batch without -out
+		{"-kind", "tiers", "-count", "2", "-dot"}, // batch cannot emit DOT
+		{"-kind", "nope", "-count", "2", "-out", "x"},
 	}
 	for _, args := range cases {
 		var out, errOut bytes.Buffer

@@ -382,7 +382,7 @@ func (pr *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 	out := &Solution{
 		Problem: pr,
 		TP:      rat.Copy(sol.Objective),
-		Stats:   core.FlowStats{Vars: m.NumVars(), Constraints: m.NumConstraints(), Pivots: sol.Iterations},
+		Stats:   core.StatsOf(m, sol),
 	}
 	for i, mem := range pr.Members {
 		memTP := rat.Mul(mem.Weight, sol.Objective)

@@ -18,11 +18,25 @@ type Commodity struct {
 	Src, Dst graph.NodeID
 }
 
-// FlowStats reports the size of the solved linear program.
+// FlowStats reports the size and solve cost of the solved linear program.
 type FlowStats struct {
 	Vars        int
 	Constraints int
-	Pivots      int
+	// Pivots is the total simplex pivot count; Phase1Pivots is the share
+	// spent finding a feasible basis. Together they let sweep aggregates
+	// track solver cost, not just throughput.
+	Pivots       int
+	Phase1Pivots int
+}
+
+// StatsOf reads the LP size and pivot counts of a solved model.
+func StatsOf(m *lp.Model, sol *lp.Solution) FlowStats {
+	return FlowStats{
+		Vars:         m.NumVars(),
+		Constraints:  m.NumConstraints(),
+		Pivots:       sol.Iterations,
+		Phase1Pivots: sol.Phase1Iterations,
+	}
 }
 
 // SolveUniformFlow builds and solves the steady-state LP of the paper's
@@ -66,8 +80,7 @@ func SolveUniformFlowCtx(ctx context.Context, p *graph.Platform, commodities []C
 	}
 
 	f := frag.Extract(sol, sol.Objective)
-	stats := FlowStats{Vars: m.NumVars(), Constraints: m.NumConstraints(), Pivots: sol.Iterations}
-	return f, stats, nil
+	return f, StatsOf(m, sol), nil
 }
 
 // flowKey identifies a transfer variable of a FlowFragment.

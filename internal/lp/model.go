@@ -197,6 +197,10 @@ type Solution struct {
 	values    []rat.Rat
 	// Iterations is the total number of simplex pivots performed.
 	Iterations int
+	// Phase1Iterations is the number of those pivots spent in phase 1
+	// (finding a feasible basis, including driving artificials out); zero
+	// when the initial basis was already feasible.
+	Phase1Iterations int
 }
 
 // Value returns the value assigned to v.

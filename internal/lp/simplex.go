@@ -314,6 +314,7 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 	// Phase 1: minimize the sum of artificials, i.e. maximize −Σa. The
 	// reduced-cost row starts as +1 on artificial columns, then basic
 	// columns are eliminated (each artificial is basic in its row).
+	phase1Pivots := 0
 	if nArt > 0 {
 		w := newRow(nCols + 1)
 		for j := 0; j < nCols; j++ {
@@ -375,6 +376,7 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 				t.dead[j] = true
 			}
 		}
+		phase1Pivots = t.pivots
 	}
 
 	// Phase 2: the real objective. Phase 1 may have tripped the cycling
@@ -421,10 +423,11 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 		objVal = rat.Neg(objVal)
 	}
 	return &Solution{
-		model:      m,
-		Objective:  objVal,
-		values:     vals,
-		Iterations: t.pivots,
+		model:            m,
+		Objective:        objVal,
+		values:           vals,
+		Iterations:       t.pivots,
+		Phase1Iterations: phase1Pivots,
 	}, nil
 }
 

@@ -226,7 +226,7 @@ func (pr *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 	if err := m.Verify(sol.Values()); err != nil {
 		return nil, fmt.Errorf("reduce: LP solution failed verification: %w", err)
 	}
-	stats := core.FlowStats{Vars: m.NumVars(), Constraints: m.NumConstraints(), Pivots: sol.Iterations}
+	stats := core.StatsOf(m, sol)
 	return frag.Extract(sol, sol.Objective, stats), nil
 }
 

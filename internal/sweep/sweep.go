@@ -1,0 +1,389 @@
+// Package sweep is the sharded scenario-sweep engine of the steady-state
+// framework: it takes a batch of Scenario files (cmd/topogen -count can
+// generate one from a single seed), fans them out over a bounded worker
+// pool, and aggregates the outcomes into a deterministic
+// steadystate.SweepReport plus an optional streaming JSONL result log.
+//
+// The engine is built for fleets of scenarios rather than single solves:
+//
+//   - Platforms are deduplicated by content hash, so scenarios that share
+//     a topology share one concurrency-safe Solver session (and with it
+//     the memoized reachability index behind validation and LP pruning).
+//   - Every solve runs under a per-solve context deadline; one malformed
+//     file or one timed-out solve lands in the report's failure list
+//     instead of aborting the run.
+//   - Shard i of n (deterministic round-robin over the name-sorted job
+//     list) lets independent processes split one batch; their reports
+//     union to the full result set.
+//   - Cancellation of the run context stops the workers between solves
+//     and inside the simplex loop; results completed before the cancel
+//     are already flushed to the JSONL log and appear in the partial
+//     report Run returns alongside the context error.
+//
+// Everything in the report except its Timing block is deterministic:
+// -jobs 1 and -jobs 8 runs of the same batch produce identical
+// aggregates.
+package sweep
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	steadystate "repro"
+)
+
+// Job is one scenario of a sweep. Either Scenario is set, or Err records
+// why loading it failed (the sweep reports it as a failure and moves on).
+type Job struct {
+	// Name identifies the job in results, failures and the JSONL log;
+	// loaders use the file base name. Names should be unique within a
+	// sweep — results sort by them.
+	Name string
+	// Path is the source file, when the job came from one (diagnostic
+	// only).
+	Path string
+	// Scenario is the parsed platform + spec to solve.
+	Scenario *steadystate.Scenario
+	// Err marks a job that failed to load; it is reported as a failure
+	// without being solved.
+	Err error
+	// Opts are extra solve options for this scenario (message sizes,
+	// block sizes, ...).
+	Opts []steadystate.SolveOption
+}
+
+// LoadFile loads one scenario file into a Job. Load errors are recorded
+// on the job, not returned: a sweep treats an unreadable or malformed
+// file as one more failed scenario.
+func LoadFile(path string) Job {
+	job := Job{Name: filepath.Base(path), Path: path}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		// Strip the os error's embedded path down to its cause: failure
+		// lists must not depend on where the sweep was launched from.
+		cause := err.Error()
+		var pe *fs.PathError
+		if errors.As(err, &pe) {
+			cause = pe.Err.Error()
+		}
+		job.Err = fmt.Errorf("read %s: %s", job.Name, cause)
+		return job
+	}
+	// Error messages reference the base name, not the path, for the same
+	// launch-directory independence.
+	sc := &steadystate.Scenario{}
+	if err := json.Unmarshal(data, sc); err != nil {
+		job.Err = fmt.Errorf("parse %s: %w", job.Name, err)
+		return job
+	}
+	if sc.Spec.Kind == "" {
+		job.Err = fmt.Errorf("parse %s: scenario has no spec (generate with topogen -spec)", job.Name)
+		return job
+	}
+	job.Scenario = sc
+	return job
+}
+
+// LoadFiles loads each path into a Job, in order.
+func LoadFiles(paths []string) []Job {
+	jobs := make([]Job, 0, len(paths))
+	for _, p := range paths {
+		jobs = append(jobs, LoadFile(p))
+	}
+	return jobs
+}
+
+// LoadDir loads every file of dir whose base name matches the glob
+// pattern (default "*.json"). The error is non-nil only when the
+// directory itself cannot be listed or the pattern is malformed —
+// individual files that fail to parse come back as failed Jobs.
+func LoadDir(dir, glob string) ([]Job, error) {
+	if glob == "" {
+		glob = "*.json"
+	}
+	if _, err := filepath.Match(glob, ""); err != nil {
+		return nil, fmt.Errorf("sweep: bad glob %q: %w", glob, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if ok, _ := filepath.Match(glob, e.Name()); ok {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	return LoadFiles(paths), nil
+}
+
+// Options configures a sweep run.
+type Options struct {
+	// Jobs bounds the number of concurrent solves; ≤ 0 means
+	// runtime.GOMAXPROCS(0).
+	Jobs int
+	// SolveTimeout bounds each individual solve; 0 means no per-solve
+	// deadline (the run context still applies).
+	SolveTimeout time.Duration
+	// ShardIndex/ShardCount select shard i of n: the name-sorted job list
+	// is dealt round-robin, job j going to shard j mod n. ShardCount ≤ 1
+	// disables sharding.
+	ShardIndex, ShardCount int
+	// JSONL, when non-nil, receives one JSON line per completed scenario
+	// (in completion order — the deterministic view is the report). Each
+	// line is written with a single Write call.
+	JSONL io.Writer
+}
+
+// Record is one line of the JSONL stream: the scenario name plus either
+// its full solution report or the error that failed it. SolveMS is always
+// at the top level — duplicating the solved report's solve_ms — so stream
+// consumers read one field whether the scenario solved or timed out.
+type Record struct {
+	Name    string              `json:"name"`
+	SolveMS float64             `json:"solve_ms,omitempty"`
+	Report  *steadystate.Report `json:"report,omitempty"`
+	Error   string              `json:"error,omitempty"`
+}
+
+// runState is the shared accumulator of one Run: the mutex serializes
+// both the JSONL stream and the result/failure slices.
+type runState struct {
+	mu        sync.Mutex
+	opts      *Options
+	results   []*steadystate.SweepResult
+	failures  []*steadystate.SweepFailure
+	durations []float64 // solve ms, solved scenarios only
+}
+
+// record logs one completed scenario: a JSONL line (if streaming) plus
+// the aggregate entry.
+func (st *runState) record(name string, rep *steadystate.Report, solveMS float64, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rec := Record{Name: name, SolveMS: solveMS, Report: rep}
+	if err != nil {
+		rec.Error = err.Error()
+		st.failures = append(st.failures, &steadystate.SweepFailure{Name: name, Error: err.Error()})
+	} else {
+		st.results = append(st.results, steadystate.SweepResultOf(name, rep))
+		st.durations = append(st.durations, solveMS)
+	}
+	if st.opts.JSONL != nil {
+		// Encoding a Record cannot fail (no custom marshalers on the
+		// error path; Report marshaling is exercised by every cmd), and a
+		// failed Write must not fail the sweep — the report is the
+		// authoritative output.
+		if line, err := json.Marshal(rec); err == nil {
+			st.opts.JSONL.Write(append(line, '\n'))
+		}
+	}
+}
+
+// Shard returns the jobs of shard index among count shards: the input is
+// sorted by name and dealt round-robin, so complementary shards partition
+// the batch deterministically regardless of load order. count ≤ 1
+// returns the full sorted batch.
+func Shard(jobs []Job, index, count int) ([]Job, error) {
+	if count <= 1 {
+		// Unsharded runs (count 0 or 1) only accept index 0 — a nonzero
+		// index with a forgotten count is a misconfigured shard worker
+		// that would otherwise re-solve the whole batch.
+		if index != 0 {
+			return nil, fmt.Errorf("sweep: shard index %d out of range for %d shard(s)", index, count)
+		}
+		sorted := append([]Job(nil), jobs...)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+		return sorted, nil
+	}
+	if index < 0 || index >= count {
+		return nil, fmt.Errorf("sweep: shard index %d out of range for %d shard(s)", index, count)
+	}
+	sorted := append([]Job(nil), jobs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var out []Job
+	for i, job := range sorted {
+		if i%count == index {
+			out = append(out, job)
+		}
+	}
+	return out, nil
+}
+
+// sessions builds one Solver per distinct platform topology: platforms
+// are hashed by their canonical JSON, and jobs whose platforms hash
+// equally share the session (node IDs are insertion-ordered and stable
+// across the JSON round trip, so a spec from one copy is valid against
+// another byte-identical copy). Returns the per-job session list and the
+// number of distinct platforms.
+func sessions(jobs []Job) ([]*steadystate.Solver, int) {
+	solvers := make([]*steadystate.Solver, len(jobs))
+	byHash := make(map[[sha256.Size]byte]*steadystate.Solver)
+	for i, job := range jobs {
+		if job.Scenario == nil {
+			continue
+		}
+		data, err := json.Marshal(job.Scenario.Platform)
+		if err != nil {
+			// Unhashable platform: fall back to a private session rather
+			// than failing a solvable scenario.
+			solvers[i] = steadystate.NewSolver(job.Scenario.Platform)
+			continue
+		}
+		h := sha256.Sum256(data)
+		if s, ok := byHash[h]; ok {
+			solvers[i] = s
+			continue
+		}
+		s := steadystate.NewSolver(job.Scenario.Platform)
+		byHash[h] = s
+		solvers[i] = s
+	}
+	return solvers, len(byHash)
+}
+
+// Run sweeps the jobs: shard selection, platform-deduplicated solver
+// sessions, bounded-parallel solving, JSONL streaming, and deterministic
+// aggregation. It returns the aggregated report together with ctx.Err()
+// if the run was cut short — the report then covers the scenarios that
+// completed before the cancellation.
+func Run(ctx context.Context, jobs []Job, opts Options) (*steadystate.SweepReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	selected, err := Shard(jobs, opts.ShardIndex, opts.ShardCount)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+
+	solvers, platforms := sessions(selected)
+	st := &runState{opts: &opts}
+
+	// The work queue is index-based so workers can pair each job with its
+	// solver session; it is pre-filled and closed, workers drain it until
+	// empty or the run context dies.
+	queue := make(chan int)
+	go func() {
+		defer close(queue)
+		for i := range selected {
+			select {
+			case queue <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				job := selected[i]
+				if job.Err != nil {
+					st.record(job.Name, nil, 0, job.Err)
+					continue
+				}
+				solveCtx, cancel := ctx, context.CancelFunc(func() {})
+				if opts.SolveTimeout > 0 {
+					solveCtx, cancel = context.WithTimeout(ctx, opts.SolveTimeout)
+				}
+				solveStart := time.Now()
+				rep, err := solveOne(solveCtx, solvers[i], job)
+				cancel()
+				if err != nil && ctx.Err() != nil {
+					// The whole run was canceled mid-solve: this scenario
+					// was not attempted to completion, so it is neither a
+					// result nor a failure of the partial report.
+					return
+				}
+				if err != nil {
+					st.record(job.Name, nil, msSince(solveStart), err)
+					continue
+				}
+				st.record(job.Name, rep, rep.SolveMS, nil)
+			}
+		}()
+	}
+	wg.Wait()
+
+	report := &steadystate.SweepReport{
+		Platforms: platforms,
+		Results:   st.results,
+		Failures:  st.failures,
+	}
+	if opts.ShardCount > 1 {
+		report.Shard = fmt.Sprintf("%d/%d", opts.ShardIndex, opts.ShardCount)
+	}
+	if _, err := report.Aggregate(); err != nil {
+		return nil, err
+	}
+	report.Timing = timing(st.durations, msSince(start))
+	return report, ctx.Err()
+}
+
+// solveOne solves one job on its session and returns the solution report.
+func solveOne(ctx context.Context, solver *steadystate.Solver, job Job) (*steadystate.Report, error) {
+	sol, err := solver.Solve(ctx, job.Scenario.Spec, job.Opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sol.Report()
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}
+
+// timing computes the report's wall-clock block: total and nearest-rank
+// percentiles over the solved scenarios' durations.
+func timing(durations []float64, wallMS float64) *steadystate.SweepTiming {
+	t := &steadystate.SweepTiming{WallMS: wallMS}
+	if len(durations) == 0 {
+		return t
+	}
+	sorted := append([]float64(nil), durations...)
+	sort.Float64s(sorted)
+	for _, d := range sorted {
+		t.TotalSolveMS += d
+	}
+	rank := func(q float64) float64 {
+		i := int(q*float64(len(sorted))+0.999999) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	t.SolveP50MS = rank(0.50)
+	t.SolveP90MS = rank(0.90)
+	t.SolveP99MS = rank(0.99)
+	t.SolveMaxMS = sorted[len(sorted)-1]
+	return t
+}

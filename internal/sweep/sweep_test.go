@@ -1,0 +1,278 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	steadystate "repro"
+)
+
+const fixtureDir = "../../testdata/sweep"
+
+// loadFixtureJobs loads the shared sweep fixtures: fig6 (reduce and
+// reduce-scatter), fig9 (reduce), tiers-42 (scatter and prefix) and one
+// deliberately malformed file.
+func loadFixtureJobs(t *testing.T) []Job {
+	t.Helper()
+	jobs, err := LoadDir(fixtureDir, "*.json")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(jobs) < 5 {
+		t.Fatalf("fixture dir has %d jobs, want at least 5", len(jobs))
+	}
+	return jobs
+}
+
+// normalize strips the wall-clock block and renders the deterministic
+// body of a report as indented JSON for comparison.
+func normalize(t *testing.T, r *steadystate.SweepReport) string {
+	t.Helper()
+	clone := *r
+	clone.Timing = nil
+	data, err := json.MarshalIndent(&clone, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	return string(data)
+}
+
+// TestSweepGolden pins the aggregated report over the testdata scenarios:
+// ordering, exact throughputs, LP counters, platform dedup count and the
+// failure entry for the malformed file must all stay stable.
+func TestSweepGolden(t *testing.T) {
+	report, err := Run(context.Background(), loadFixtureJobs(t), Options{Jobs: 4})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got := normalize(t, report)
+
+	raw, err := os.ReadFile("../../testdata/sweep-golden.json")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	// Re-marshal the golden through the same struct so formatting details
+	// of the checked-in file don't matter, only its content.
+	var golden steadystate.SweepReport
+	if err := json.Unmarshal(raw, &golden); err != nil {
+		t.Fatalf("parse golden: %v", err)
+	}
+	want := normalize(t, &golden)
+	if got != want {
+		t.Errorf("sweep report drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if report.Timing == nil || report.Timing.WallMS <= 0 {
+		t.Error("report should carry a timing block with positive wall time")
+	}
+	if report.Timing.SolveMaxMS < report.Timing.SolveP50MS {
+		t.Errorf("timing percentiles inconsistent: max %v < p50 %v",
+			report.Timing.SolveMaxMS, report.Timing.SolveP50MS)
+	}
+	if report.Platforms != 3 {
+		t.Errorf("platforms = %d, want 3 (fig6, fig9, tiers42 each shared)", report.Platforms)
+	}
+}
+
+// TestSweepJobsInvariance: the aggregate must not depend on worker count.
+func TestSweepJobsInvariance(t *testing.T) {
+	jobs := loadFixtureJobs(t)
+	seq, err := Run(context.Background(), jobs, Options{Jobs: 1})
+	if err != nil {
+		t.Fatalf("Run jobs=1: %v", err)
+	}
+	par, err := Run(context.Background(), jobs, Options{Jobs: 8})
+	if err != nil {
+		t.Fatalf("Run jobs=8: %v", err)
+	}
+	if a, b := normalize(t, seq), normalize(t, par); a != b {
+		t.Errorf("-jobs 1 and -jobs 8 aggregates differ:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", a, b)
+	}
+}
+
+// TestSweepShardUnion: complementary shards partition the batch and their
+// reports union to the full result set.
+func TestSweepShardUnion(t *testing.T) {
+	jobs := loadFixtureJobs(t)
+	full, err := Run(context.Background(), jobs, Options{Jobs: 4})
+	if err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	union := &steadystate.SweepReport{}
+	for i := 0; i < 2; i++ {
+		part, err := Run(context.Background(), jobs, Options{Jobs: 4, ShardIndex: i, ShardCount: 2})
+		if err != nil {
+			t.Fatalf("shard %d/2: %v", i, err)
+		}
+		if want := "0/2"; i == 0 && part.Shard != want {
+			t.Errorf("shard label = %q, want %q", part.Shard, want)
+		}
+		if part.Scenarios == 0 {
+			t.Errorf("shard %d/2 is empty; expected the batch to split", i)
+		}
+		union.Results = append(union.Results, part.Results...)
+		union.Failures = append(union.Failures, part.Failures...)
+	}
+	if _, err := union.Aggregate(); err != nil {
+		t.Fatalf("aggregate union: %v", err)
+	}
+	// Platforms counts distinct topologies per process — two shards that
+	// split a platform's scenarios both count it, so the counter is
+	// per-run, not unionable. Everything else must union exactly.
+	union.Platforms = full.Platforms
+	if got, want := normalize(t, union), normalize(t, full); got != want {
+		t.Errorf("shard union differs from full run:\n--- union ---\n%s\n--- full ---\n%s", got, want)
+	}
+}
+
+// TestSweepShardErrors: out-of-range shard selections fail loudly.
+func TestSweepShardErrors(t *testing.T) {
+	jobs := []Job{{Name: "x"}}
+	// {3, 0}: a nonzero index with a forgotten ShardCount must not
+	// silently sweep the full batch.
+	for _, bad := range [][2]int{{2, 2}, {-1, 2}, {1, 1}, {3, 0}} {
+		if _, err := Shard(jobs, bad[0], bad[1]); err == nil {
+			t.Errorf("Shard(index=%d, count=%d) should fail", bad[0], bad[1])
+		}
+	}
+}
+
+// cancelAfterFirstWrite is a JSONL sink that cancels the sweep context as
+// soon as the first line lands.
+type cancelAfterFirstWrite struct {
+	mu     sync.Mutex
+	cancel context.CancelFunc
+	buf    bytes.Buffer
+	lines  int
+}
+
+func (c *cancelAfterFirstWrite) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lines++
+	c.buf.Write(p)
+	c.cancel()
+	return len(p), nil
+}
+
+// TestSweepCancellation: canceling mid-sweep stops the workers, returns
+// the context error, and still flushes the completed scenarios' JSONL
+// lines plus a partial aggregate.
+func TestSweepCancellation(t *testing.T) {
+	// A batch big enough that it cannot finish before the cancel: only
+	// the in-flight solves (≤ Jobs) may complete after the first record.
+	p := steadystate.Tiers(steadystate.DefaultTiersConfig(42))
+	parts := p.Participants()
+	var jobs []Job
+	for i := 0; i < 12; i++ {
+		src := parts[i%len(parts)]
+		var targets []steadystate.NodeID
+		for d := 1; d <= 3; d++ {
+			targets = append(targets, parts[(i+d)%len(parts)])
+		}
+		jobs = append(jobs, Job{
+			Name:     filepath.Join("mem", string(rune('a'+i))+".json"),
+			Scenario: &steadystate.Scenario{Platform: p, Spec: steadystate.ScatterSpec(src, targets...)},
+		})
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &cancelAfterFirstWrite{cancel: cancel}
+	report, err := Run(ctx, jobs, Options{Jobs: 2, JSONL: sink})
+	if err == nil {
+		t.Fatal("Run should return the context error after a mid-sweep cancel")
+	}
+	if report == nil {
+		t.Fatal("Run should return the partial report alongside the context error")
+	}
+	if report.Scenarios == 0 {
+		t.Error("partial report should contain the scenarios completed before the cancel")
+	}
+	if report.Scenarios >= len(jobs) {
+		t.Errorf("report covers %d of %d scenarios; cancel should have cut the sweep short",
+			report.Scenarios, len(jobs))
+	}
+	if sink.lines != report.Scenarios {
+		t.Errorf("JSONL has %d lines for %d reported scenarios", sink.lines, report.Scenarios)
+	}
+	// Every flushed line must be a complete, parseable record.
+	for _, line := range strings.Split(strings.TrimSpace(sink.buf.String()), "\n") {
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Errorf("partial JSONL line does not parse: %v (%q)", err, line)
+		}
+	}
+}
+
+// TestSweepPlatformDedupMatchesColdSolves: scenarios sharing a topology
+// share one solver session, and the shared sessions return bit-identical
+// results to cold per-scenario solves.
+func TestSweepPlatformDedupMatchesColdSolves(t *testing.T) {
+	jobs := loadFixtureJobs(t)
+	report, err := Run(context.Background(), jobs, Options{Jobs: 4})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, res := range report.Results {
+		var job *Job
+		for i := range jobs {
+			if jobs[i].Name == res.Name {
+				job = &jobs[i]
+				break
+			}
+		}
+		if job == nil || job.Scenario == nil {
+			t.Fatalf("result %s has no loadable job", res.Name)
+		}
+		sol, err := job.Scenario.Solve(context.Background())
+		if err != nil {
+			t.Fatalf("cold solve %s: %v", res.Name, err)
+		}
+		if got := sol.Throughput().RatString(); got != res.Throughput {
+			t.Errorf("%s: sweep TP %s != cold TP %s", res.Name, res.Throughput, got)
+		}
+	}
+}
+
+// TestSweepSolveTimeout: an impossible per-solve deadline turns every
+// solvable scenario into a failure, never an aborted run.
+func TestSweepSolveTimeout(t *testing.T) {
+	jobs := loadFixtureJobs(t)
+	report, err := Run(context.Background(), jobs, Options{Jobs: 2, SolveTimeout: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if report.Solved != 0 {
+		t.Errorf("%d scenarios solved under a 1ns deadline", report.Solved)
+	}
+	if report.Failed != report.Scenarios {
+		t.Errorf("failed %d of %d; every scenario should fail under the deadline",
+			report.Failed, report.Scenarios)
+	}
+}
+
+// TestLoadDirErrors: only unlistable directories and malformed globs are
+// hard errors; malformed files come back as failed jobs.
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir(filepath.Join(t.TempDir(), "absent"), "*.json"); err == nil {
+		t.Error("LoadDir on a missing directory should fail")
+	}
+	if _, err := LoadDir(fixtureDir, "[bad"); err == nil {
+		t.Error("LoadDir with a malformed glob should fail")
+	}
+	dir := t.TempDir()
+	job := LoadFile(filepath.Join(dir, "absent.json"))
+	if job.Err == nil {
+		t.Error("LoadFile on a missing file should record an error on the job")
+	} else if strings.Contains(job.Err.Error(), dir) {
+		// Failure lists must be launch-directory independent, so shard
+		// reports union and goldens stay stable wherever the sweep runs.
+		t.Errorf("read-error message leaks the directory path: %q", job.Err)
+	}
+}

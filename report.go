@@ -8,6 +8,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/rat"
@@ -88,10 +89,18 @@ type Report struct {
 	ThroughputFloat float64 `json:"throughput_float"`
 	// Period is the integer schedule period.
 	Period string `json:"period"`
-	// LP records the size of the solved linear program.
-	LPVars        int `json:"lp_vars"`
-	LPConstraints int `json:"lp_constraints"`
-	LPPivots      int `json:"lp_pivots"`
+	// LP records the size and solve cost of the solved linear program:
+	// LPPivots is the total simplex pivot count, LPPhase1Pivots the share
+	// spent finding a feasible basis (phase 1).
+	LPVars         int `json:"lp_vars"`
+	LPConstraints  int `json:"lp_constraints"`
+	LPPivots       int `json:"lp_pivots"`
+	LPPhase1Pivots int `json:"lp_phase1_pivots,omitempty"`
+	// SolveMS is the wall-clock duration of the Solve call in milliseconds
+	// (zero for member reports, which are solved jointly with their
+	// composite). It is measurement, not arithmetic: two identical solves
+	// report identical throughputs but may report different SolveMS.
+	SolveMS float64 `json:"solve_ms,omitempty"`
 	// Trees counts the extracted reduction trees (reduce/gather only).
 	Trees int `json:"trees,omitempty"`
 	// FixedPeriod/FixedThroughput/FixedLoss describe the Section 4.6
@@ -117,5 +126,170 @@ func newReport(kind Kind, tp Rat, period fmt.Stringer, stats core.FlowStats) *Re
 		LPVars:          stats.Vars,
 		LPConstraints:   stats.Constraints,
 		LPPivots:        stats.Pivots,
+		LPPhase1Pivots:  stats.Phase1Pivots,
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Sweep reports
+
+// SweepResult is one solved scenario of a sweep, reduced to its
+// deterministic summary: exact throughput and LP cost counters, no
+// wall-clock measurements. Two sweeps over the same scenarios produce
+// identical SweepResults regardless of -jobs, sharding or machine load.
+type SweepResult struct {
+	// Name identifies the scenario within the sweep (the file base name
+	// for file sweeps).
+	Name string `json:"name"`
+	Kind Kind   `json:"kind"`
+	// Throughput is TP as an exact rational string; Period the integer
+	// schedule period.
+	Throughput     string `json:"throughput"`
+	Period         string `json:"period"`
+	LPVars         int    `json:"lp_vars"`
+	LPConstraints  int    `json:"lp_constraints"`
+	LPPivots       int    `json:"lp_pivots"`
+	LPPhase1Pivots int    `json:"lp_phase1_pivots,omitempty"`
+}
+
+// SweepFailure records one scenario that could not be solved — a file
+// that failed to parse, a spec the platform rejects, a solve that timed
+// out — with the error that explains it. Failures never abort a sweep;
+// they accumulate here.
+type SweepFailure struct {
+	Name  string `json:"name"`
+	Error string `json:"error"`
+}
+
+// SweepKindStats aggregates the solved scenarios of one collective kind:
+// the throughput range and exact mean, and the summed LP cost counters.
+type SweepKindStats struct {
+	Kind  Kind `json:"kind"`
+	Count int  `json:"count"`
+	// Min/Max/MeanThroughput are exact rational strings; the mean is
+	// Σ TP / Count computed in exact arithmetic.
+	MinThroughput  string `json:"min_throughput"`
+	MaxThroughput  string `json:"max_throughput"`
+	MeanThroughput string `json:"mean_throughput"`
+	// LP cost totals across the kind's solves.
+	TotalLPVars        int `json:"total_lp_vars"`
+	TotalLPConstraints int `json:"total_lp_constraints"`
+	TotalLPPivots      int `json:"total_lp_pivots"`
+	MaxLPPivots        int `json:"max_lp_pivots"`
+}
+
+// SweepTiming carries the sweep's wall-clock measurements, split from the
+// deterministic body of a SweepReport so golden tests and cross-run diffs
+// can compare everything else byte for byte.
+type SweepTiming struct {
+	// WallMS is the end-to-end sweep duration; TotalSolveMS the sum of
+	// per-scenario solve times (> WallMS when -jobs exploits parallelism).
+	WallMS       float64 `json:"wall_ms"`
+	TotalSolveMS float64 `json:"total_solve_ms"`
+	// Solve-time percentiles over the solved scenarios, in milliseconds
+	// (nearest-rank on the sorted durations).
+	SolveP50MS float64 `json:"solve_p50_ms"`
+	SolveP90MS float64 `json:"solve_p90_ms"`
+	SolveP99MS float64 `json:"solve_p99_ms"`
+	SolveMaxMS float64 `json:"solve_max_ms"`
+}
+
+// SweepReport is the aggregated outcome of a scenario sweep. Everything
+// except Timing is deterministic with stable ordering: Results and
+// Failures sort by name, Kinds by kind, so reports from -jobs 1 and
+// -jobs 8 runs are identical and complementary -shard runs union cleanly.
+type SweepReport struct {
+	// Scenarios = Solved + Failed is the number of scenarios this run
+	// attempted (after shard selection).
+	Scenarios int `json:"scenarios"`
+	Solved    int `json:"solved"`
+	Failed    int `json:"failed"`
+	// Shard is "i/n" when the sweep ran shard i of n, empty otherwise.
+	Shard string `json:"shard,omitempty"`
+	// Platforms counts the distinct platform topologies (by content hash)
+	// among the attempted scenarios — each backed one shared Solver
+	// session.
+	Platforms int               `json:"platforms"`
+	Kinds     []*SweepKindStats `json:"kinds,omitempty"`
+	Results   []*SweepResult    `json:"results,omitempty"`
+	Failures  []*SweepFailure   `json:"failures,omitempty"`
+	Timing    *SweepTiming      `json:"timing,omitempty"`
+}
+
+// SweepResultOf reduces a solved scenario's Report to its deterministic
+// sweep summary.
+func SweepResultOf(name string, rep *Report) *SweepResult {
+	return &SweepResult{
+		Name:           name,
+		Kind:           rep.Kind,
+		Throughput:     rep.Throughput,
+		Period:         rep.Period,
+		LPVars:         rep.LPVars,
+		LPConstraints:  rep.LPConstraints,
+		LPPivots:       rep.LPPivots,
+		LPPhase1Pivots: rep.LPPhase1Pivots,
+	}
+}
+
+// Aggregate sorts the report's results, failures and kind tables into
+// their canonical order and recomputes the counters and per-kind
+// aggregates from Results and Failures. Call after appending results;
+// the receiver is returned for chaining.
+func (r *SweepReport) Aggregate() (*SweepReport, error) {
+	sort.Slice(r.Results, func(i, j int) bool { return r.Results[i].Name < r.Results[j].Name })
+	sort.Slice(r.Failures, func(i, j int) bool { return r.Failures[i].Name < r.Failures[j].Name })
+	r.Solved = len(r.Results)
+	r.Failed = len(r.Failures)
+	r.Scenarios = r.Solved + r.Failed
+
+	type acc struct {
+		count            int
+		min, max, sum    Rat
+		vars, cons       int
+		pivots, maxPivot int
+	}
+	byKind := make(map[Kind]*acc)
+	for _, res := range r.Results {
+		tp, err := rat.Parse(res.Throughput)
+		if err != nil {
+			return nil, fmt.Errorf("steadystate: sweep result %s has unparseable throughput %q: %w",
+				res.Name, res.Throughput, err)
+		}
+		a := byKind[res.Kind]
+		if a == nil {
+			a = &acc{min: tp, max: tp, sum: rat.Zero()}
+			byKind[res.Kind] = a
+		}
+		a.count++
+		a.sum = rat.Add(a.sum, tp)
+		if tp.Cmp(a.min) < 0 {
+			a.min = tp
+		}
+		if tp.Cmp(a.max) > 0 {
+			a.max = tp
+		}
+		a.vars += res.LPVars
+		a.cons += res.LPConstraints
+		a.pivots += res.LPPivots
+		if res.LPPivots > a.maxPivot {
+			a.maxPivot = res.LPPivots
+		}
+	}
+	r.Kinds = r.Kinds[:0]
+	for kind, a := range byKind {
+		mean := rat.Div(a.sum, rat.Int(int64(a.count)))
+		r.Kinds = append(r.Kinds, &SweepKindStats{
+			Kind:               kind,
+			Count:              a.count,
+			MinThroughput:      a.min.RatString(),
+			MaxThroughput:      a.max.RatString(),
+			MeanThroughput:     mean.RatString(),
+			TotalLPVars:        a.vars,
+			TotalLPConstraints: a.cons,
+			TotalLPPivots:      a.pivots,
+			MaxLPPivots:        a.maxPivot,
+		})
+	}
+	sort.Slice(r.Kinds, func(i, j int) bool { return r.Kinds[i].Kind < r.Kinds[j].Kind })
+	return r, nil
 }
