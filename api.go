@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/composite"
 	"repro/internal/gossip"
+	"repro/internal/lp"
 	"repro/internal/prefix"
 	"repro/internal/rat"
 	"repro/internal/reduce"
@@ -298,6 +299,7 @@ type solveOptions struct {
 	taskTime    func(NodeID, ReduceTask) Rat
 	blockSize   Rat
 	fixedPeriod *big.Int
+	denseLP     bool
 }
 
 // WithMessageSize sets a uniform partial-result size for reduce and
@@ -324,6 +326,16 @@ func WithBlockSize(size Rat) SolveOption {
 // Report includes the approximation's throughput and loss.
 func WithFixedPeriod(period *big.Int) SolveOption {
 	return func(o *solveOptions) { o.fixedPeriod = new(big.Int).Set(period) }
+}
+
+// WithDenseLP solves on the dense simplex tableau instead of the sparse
+// default. The two implementations execute the same pivot sequence and
+// return bit-identical solutions — dense differs only in per-pivot cost
+// (it multiplies every column, zeros included). It is valid for every
+// kind and exists as an escape hatch and as the baseline of the
+// dense-vs-sparse ablation benchmarks.
+func WithDenseLP() SolveOption {
+	return func(o *solveOptions) { o.denseLP = true }
 }
 
 // optionsFor materializes the options and rejects combinations the kind
@@ -468,6 +480,11 @@ func (s *Solver) solve(ctx context.Context, spec Spec, opts ...SolveOption) (Sol
 	}
 	if err := spec.validate(s.p); err != nil {
 		return nil, err
+	}
+	if o.denseLP {
+		// The tableau selection rides the context all the way into the
+		// simplex, so one decoration covers plain and composite solves.
+		ctx = lp.WithTableau(ctx, lp.TableauDense)
 	}
 
 	switch spec.Kind {

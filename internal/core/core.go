@@ -74,8 +74,10 @@ func (b *OccupancyBuilder) AddConstraints(m *lp.Model) {
 		m.AddConstraint(
 			fmt.Sprintf("edge_occ(%s->%s)", b.p.Node(k.From).Name, b.p.Node(k.To).Name),
 			expr, lp.Leq, rat.One())
-		outBy[k.From] = append(outBy[k.From], expr...)
-		inBy[k.To] = append(inBy[k.To], expr...)
+		// Concat merges the sorted sparse vectors, so the per-node one-port
+		// rows stay canonical without a densify-and-rescan pass.
+		outBy[k.From] = outBy[k.From].Concat(expr)
+		inBy[k.To] = inBy[k.To].Concat(expr)
 	}
 	for _, n := range b.p.Nodes() {
 		if e, ok := outBy[n.ID]; ok {

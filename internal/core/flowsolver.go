@@ -18,10 +18,17 @@ type Commodity struct {
 	Src, Dst graph.NodeID
 }
 
-// FlowStats reports the size and solve cost of the solved linear program.
+// FlowStats reports the size, sparsity and solve cost of the solved
+// linear program.
 type FlowStats struct {
 	Vars        int
 	Constraints int
+	// NonZeros counts the constraint matrix's nonzero coefficients and
+	// Density is NonZeros over the Vars×Constraints area — the quantities
+	// the sparse tableau exploits (per-pivot cost scales with row nonzeros,
+	// not columns).
+	NonZeros int
+	Density  float64
 	// Pivots is the total simplex pivot count; Phase1Pivots is the share
 	// spent finding a feasible basis. Together they let sweep aggregates
 	// track solver cost, not just throughput.
@@ -29,11 +36,14 @@ type FlowStats struct {
 	Phase1Pivots int
 }
 
-// StatsOf reads the LP size and pivot counts of a solved model.
+// StatsOf reads the LP size, sparsity and pivot counts of a solved model.
 func StatsOf(m *lp.Model, sol *lp.Solution) FlowStats {
+	ms := m.Stats()
 	return FlowStats{
-		Vars:         m.NumVars(),
-		Constraints:  m.NumConstraints(),
+		Vars:         ms.Vars,
+		Constraints:  ms.Constraints,
+		NonZeros:     ms.NonZeros,
+		Density:      ms.Density,
 		Pivots:       sol.Iterations,
 		Phase1Pivots: sol.Phase1Iterations,
 	}

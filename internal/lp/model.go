@@ -11,15 +11,37 @@
 // provides a self-contained primal simplex over big.Int/big.Rat:
 //
 //   - Model: named variables (all ≥ 0, optional upper bounds), linear
-//     constraints with ≤ / = / ≥ senses, and a linear objective.
-//   - Solve: two-phase primal simplex. Tableau rows are stored as integer
-//     vectors with a per-row positive denominator, updated fraction-free and
-//     re-normalized by their content gcd, which keeps entries small and lets
-//     rows untouched by a pivot be skipped entirely. Pivoting uses Dantzig's
-//     rule and falls back to Bland's rule (which provably terminates) when
-//     the iteration count suggests cycling.
+//     constraints with ≤ / = / ≥ senses, and a linear objective. Constraints
+//     are stored as sorted sparse (Var, coeff) vectors — Expr merges
+//     duplicate variables as it is built — and Stats reports the model's
+//     nonzero count and density.
+//   - Solve: two-phase primal simplex. Pivoting uses Dantzig's rule and
+//     falls back to Bland's rule (which provably terminates) when the
+//     iteration count suggests cycling.
 //   - Verify: independent feasibility check of a solution against the model,
 //     used by tests and callers to guard against solver defects.
+//
+// # Tableau representations
+//
+// The simplex tableau is pluggable (see the tableau interface in
+// simplex.go); both implementations store rows fraction-free as integer
+// numerators over one positive per-row denominator, re-normalized by their
+// content gcd after every pivot, and both produce the exact same pivot
+// sequence — solutions, pivot counts and objective values are bit-identical:
+//
+//   - sparse (sparse.go, the default): each row keeps only its nonzero
+//     entries as parallel (column, numerator) slices sorted by column. The
+//     steady-state LPs are extremely sparse — a one-port or compute row
+//     touches only a node's incident edges, a conservation row only one
+//     commodity's variables around one node — so pivots cost O(nnz) big.Int
+//     multiplications instead of O(columns). Composite solves, whose
+//     variable counts multiply by the member count, win the most.
+//   - dense (simplex.go): each row is a full integer vector. It wins only
+//     when rows are mostly full (density near 1, e.g. tiny textbook
+//     programs), where the sparse index bookkeeping buys nothing. It is
+//     kept selectable — WithTableau(ctx, TableauDense), surfaced as the
+//     steadystate.WithDenseLP option — as an escape hatch and as the
+//     baseline for ablation benchmarks.
 package lp
 
 import (
@@ -65,24 +87,130 @@ type Term struct {
 	Coeff rat.Rat
 }
 
-// Expr is a linear expression: a sum of terms.
+// Expr is a linear expression: a sum of terms, kept as a sparse vector
+// sorted by variable with at most one term per variable and no zero
+// coefficients. Plus and Minus maintain the invariant by merging into an
+// existing term instead of appending a duplicate, so an expression built
+// term by term is already the sparse constraint row the solver stores —
+// x + x is 2x, and a coefficient that cancels to zero drops out.
 type Expr []Term
 
 // NewExpr returns an empty expression.
 func NewExpr() Expr { return nil }
 
-// Plus appends coeff·v to the expression and returns the extended
-// expression (builder style).
+// Plus adds coeff·v to the expression and returns the extended expression
+// (builder style). A term for v already present absorbs the coefficient.
 func (e Expr) Plus(coeff rat.Rat, v Var) Expr {
-	return append(e, Term{Var: v, Coeff: rat.Copy(coeff)})
+	if coeff.Sign() == 0 {
+		return e
+	}
+	// Fast path: rows are usually built in increasing variable order, so
+	// the new term lands at the end. The capacity-capped append forces a
+	// fresh backing array, so two expressions derived from one shared
+	// prefix can never clobber each other's appended terms.
+	if n := len(e); n == 0 || e[n-1].Var < v {
+		return append(e[:n:n], Term{Var: v, Coeff: rat.Copy(coeff)})
+	}
+	i := sort.Search(len(e), func(i int) bool { return e[i].Var >= v })
+	if i < len(e) && e[i].Var == v {
+		// Merge, never mutating the shared coefficient in place: the terms
+		// of an Expr may be aliased by expressions derived from it.
+		sum := rat.Add(e[i].Coeff, coeff)
+		out := append(Expr(nil), e...)
+		if sum.Sign() == 0 {
+			return append(out[:i], out[i+1:]...)
+		}
+		out[i] = Term{Var: v, Coeff: sum}
+		return out
+	}
+	out := make(Expr, 0, len(e)+1)
+	out = append(out, e[:i]...)
+	out = append(out, Term{Var: v, Coeff: rat.Copy(coeff)})
+	return append(out, e[i:]...)
 }
 
-// Plus1 appends 1·v to the expression.
+// Plus1 adds 1·v to the expression.
 func (e Expr) Plus1(v Var) Expr { return e.Plus(rat.One(), v) }
 
-// Minus appends -coeff·v to the expression.
+// Minus adds -coeff·v to the expression.
 func (e Expr) Minus(coeff rat.Rat, v Var) Expr {
-	return append(e, Term{Var: v, Coeff: rat.Neg(coeff)})
+	return e.Plus(rat.Neg(coeff), v)
+}
+
+// Concat merges every term of other into e and returns the merged
+// expression, preserving the sorted-sparse invariant. It is the builder
+// for shared capacity rows: per-edge occupancy expressions concatenate
+// into per-node one-port rows without densifying.
+func (e Expr) Concat(other Expr) Expr {
+	if len(other) == 0 {
+		return e
+	}
+	if len(e) == 0 {
+		return append(Expr(nil), other...)
+	}
+	// Fast path: disjoint, strictly ordered ranges concatenate directly.
+	if e[len(e)-1].Var < other[0].Var {
+		return append(append(Expr(nil), e...), other...)
+	}
+	out := make(Expr, 0, len(e)+len(other))
+	i, j := 0, 0
+	for i < len(e) && j < len(other) {
+		switch {
+		case e[i].Var < other[j].Var:
+			out = append(out, e[i])
+			i++
+		case e[i].Var > other[j].Var:
+			out = append(out, other[j])
+			j++
+		default:
+			if sum := rat.Add(e[i].Coeff, other[j].Coeff); sum.Sign() != 0 {
+				out = append(out, Term{Var: e[i].Var, Coeff: sum})
+			}
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, e[i:]...)
+	return append(out, other[j:]...)
+}
+
+// Coeff returns the coefficient of v in the expression (zero when absent).
+func (e Expr) Coeff(v Var) rat.Rat {
+	i := sort.Search(len(e), func(i int) bool { return e[i].Var >= v })
+	if i < len(e) && e[i].Var == v {
+		return rat.Copy(e[i].Coeff)
+	}
+	return rat.Zero()
+}
+
+// canonical returns the expression in sorted-sparse form. Expressions
+// built through Plus/Minus/Concat already satisfy the invariant and come
+// back unchanged (no allocation); hand-assembled term slices are sorted
+// and merged defensively.
+func (e Expr) canonical() Expr {
+	ordered := true
+	for i := 1; i < len(e); i++ {
+		if e[i-1].Var >= e[i].Var {
+			ordered = false
+			break
+		}
+	}
+	if ordered {
+		zeros := false
+		for _, t := range e {
+			if t.Coeff.Sign() == 0 {
+				zeros = true
+				break
+			}
+		}
+		if !zeros {
+			return e
+		}
+	}
+	out := NewExpr()
+	for _, t := range e {
+		out = out.Plus(t.Coeff, t.Var)
+	}
+	return out
 }
 
 // Constraint is a linear constraint expr (sense) rhs.
@@ -104,6 +232,12 @@ type Model struct {
 	upper    []rat.Rat // nil entry = unbounded above
 	obj      map[Var]rat.Rat
 	cons     []Constraint
+	// blandOverride, when ≥ 0, replaces the per-phase pivot budget after
+	// which the pivoting rule falls back from Dantzig's to Bland's; -1
+	// means the size-derived default. Per-model (not a package global) so
+	// concurrent solves never share it; tests set it through the
+	// unexported setBlandAfter.
+	blandOverride int
 }
 
 // NewMaximize returns an empty model whose objective will be maximized.
@@ -114,11 +248,18 @@ func NewMinimize() *Model { return newModel(false) }
 
 func newModel(maximize bool) *Model {
 	return &Model{
-		maximize: maximize,
-		index:    make(map[string]Var),
-		obj:      make(map[Var]rat.Rat),
+		maximize:      maximize,
+		index:         make(map[string]Var),
+		obj:           make(map[Var]rat.Rat),
+		blandOverride: -1,
 	}
 }
+
+// setBlandAfter overrides the per-phase pivot budget after which the
+// solver falls back from Dantzig's to Bland's rule, for this model's
+// solves only. Tests use it to make the fallback (and its reset between
+// phases) observable without constructing pathological cycling programs.
+func (m *Model) setBlandAfter(n int) { m.blandOverride = n }
 
 // Maximizing reports whether the model's objective is maximized.
 func (m *Model) Maximizing() bool { return m.maximize }
@@ -179,10 +320,35 @@ func (m *Model) AddConstraint(name string, expr Expr, sense Sense, rhs rat.Rat) 
 	}
 	m.cons = append(m.cons, Constraint{
 		Name:  name,
-		Expr:  append(Expr(nil), expr...),
+		Expr:  append(Expr(nil), expr.canonical()...),
 		Sense: sense,
 		RHS:   rat.Copy(rhs),
 	})
+}
+
+// Stats describes the assembled model: its size and the sparsity of its
+// constraint matrix. NonZeros counts the (merged) terms of the explicit
+// constraints; Density is NonZeros over the Vars×Constraints matrix area
+// (0 for an empty model). The steady-state LPs sit well under 10% — each
+// one-port, compute or conservation row touches only one node's incident
+// variables — which is why the sparse tableau is the default.
+type Stats struct {
+	Vars        int
+	Constraints int
+	NonZeros    int
+	Density     float64
+}
+
+// Stats returns the model's current size and sparsity.
+func (m *Model) Stats() Stats {
+	s := Stats{Vars: len(m.names), Constraints: len(m.cons)}
+	for _, c := range m.cons {
+		s.NonZeros += len(c.Expr)
+	}
+	if area := s.Vars * s.Constraints; area > 0 {
+		s.Density = float64(s.NonZeros) / float64(area)
+	}
+	return s
 }
 
 // Constraints returns the model's constraints (shared slice; callers must

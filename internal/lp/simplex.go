@@ -9,10 +9,156 @@ import (
 	"repro/internal/rat"
 )
 
-// row is one tableau row: rational entries n[j]/d with a shared positive
-// denominator d. Keeping rows as integer vectors makes pivots pure big.Int
-// arithmetic (no per-operation gcd as big.Rat would do) and lets a pivot
-// skip every row whose pivot-column entry is zero.
+// TableauImpl selects the storage representation of the simplex tableau.
+// Both implementations execute the exact same pivot sequence and return
+// bit-identical solutions; they differ only in per-pivot cost (see the
+// package documentation).
+type TableauImpl int
+
+const (
+	// TableauSparse stores rows as sorted (column, numerator) pairs over a
+	// shared denominator — the default, and the faster choice for the
+	// steady-state LPs, whose rows touch only a node's incident variables.
+	TableauSparse TableauImpl = iota
+	// TableauDense stores rows as full integer vectors — the escape hatch
+	// and the ablation baseline; faster only for near-full matrices.
+	TableauDense
+)
+
+// String names the implementation for reports and benchmarks.
+func (t TableauImpl) String() string {
+	if t == TableauDense {
+		return "dense"
+	}
+	return "sparse"
+}
+
+// tableauCtxKey carries the tableau selection through a context.
+type tableauCtxKey struct{}
+
+// WithTableau returns a context that selects the tableau implementation
+// for every Model.SolveCtx beneath it. Solvers thread one context from the
+// public API down to the simplex, so a single context decoration switches
+// an entire composite solve (steadystate.WithDenseLP uses this).
+func WithTableau(ctx context.Context, impl TableauImpl) context.Context {
+	return context.WithValue(ctx, tableauCtxKey{}, impl)
+}
+
+// TableauFrom reports the tableau implementation the context selects
+// (TableauSparse when undecorated).
+func TableauFrom(ctx context.Context) TableauImpl {
+	if v, ok := ctx.Value(tableauCtxKey{}).(TableauImpl); ok {
+		return v
+	}
+	return TableauSparse
+}
+
+// colVal is one nonzero tableau entry under construction: the column index
+// and the integer numerator (the row's shared denominator travels
+// alongside). Rows are assembled with strictly increasing columns.
+type colVal struct {
+	col int
+	num *big.Int
+}
+
+// tableau is the pluggable pivoting storage of the two-phase simplex. The
+// driver in SolveCtx owns the phase logic (row assembly, phase-1
+// artificials, the drive-out loop, phase-2 objective installation,
+// extraction); the implementations own entry storage and the pivot
+// arithmetic. Both implementations must pick identical entering/leaving
+// columns on identical states so that dense and sparse solves are
+// bit-equivalent — the equivalence tests pin this.
+type tableau interface {
+	// addRow appends a constraint row with the given sorted nonzero
+	// entries (including the rhs column) over denominator den, with the
+	// column basic initially basic in it.
+	addRow(entries []colVal, den *big.Int, basic int)
+	// nRows returns the current row count (rows can be dropped).
+	nRows() int
+	// basic returns the column basic in row i.
+	basic(i int) int
+	// entering picks the entering column (Dantzig, falling back to Bland
+	// after the pivot budget), or -1 at optimality.
+	entering() int
+	// leaving runs the ratio test for column c, or -1 when unbounded.
+	leaving(c int) int
+	// pivot performs a Gauss-Jordan pivot at (pr, pc); the entry must be
+	// strictly positive.
+	pivot(pr, pc int)
+	// pivotCount returns the pivots performed so far.
+	pivotCount() int
+	// resetRule restarts the cycling heuristic for a new phase: Dantzig's
+	// rule with a fresh budget of extra pivots on top of those spent.
+	resetRule(budget int)
+	// installPhase1 installs the phase-1 objective (minimize the sum of
+	// artificials) and eliminates the basic artificial columns.
+	installPhase1(art []bool)
+	// installObjective installs a reduced-cost row from the given sorted
+	// entries over den and eliminates the basic columns.
+	installObjective(entries []colVal, den *big.Int)
+	// objRHSSign returns the sign of the objective row's rhs entry.
+	objRHSSign() int
+	// firstNonzero returns the first column (ascending, excluding rhs)
+	// with a nonzero entry in row i among columns not skipped, and the
+	// entry's sign; (-1, 0) when the row is zero over those columns.
+	firstNonzero(i int, skip []bool) (col, sign int)
+	// negateRow flips the sign of every entry of row i.
+	negateRow(i int)
+	// dropRow removes row i (and its basis slot).
+	dropRow(i int)
+	// markDead excludes the flagged columns from future entering picks.
+	markDead(cols []bool)
+	// value returns the rhs value of row i as an exact rational.
+	value(i int) rat.Rat
+	// objValue returns the objective row's rhs as an exact rational.
+	objValue() rat.Rat
+}
+
+// newTableau constructs the selected implementation.
+func newTableau(impl TableauImpl, nCols, blandAfter int) tableau {
+	if impl == TableauDense {
+		return newDenseTableau(nCols, blandAfter)
+	}
+	return newSparseTableau(nCols, blandAfter)
+}
+
+// blandBudget returns the number of pivots a phase may spend before the
+// solver suspects cycling and switches to Bland's rule. A non-negative
+// override (test hook, per model) replaces the size-derived default.
+func blandBudget(rows, cols, override int) int {
+	if override >= 0 {
+		return override
+	}
+	return 50 * (rows + cols + 20)
+}
+
+// iterate pivots until optimality, unboundedness or context cancellation.
+// Each pivot is dominated by big.Int row arithmetic, so a per-pivot
+// cancellation check costs nothing measurable.
+func iterate(ctx context.Context, t tableau) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("lp: interrupted after %d pivots: %w", t.pivotCount(), err)
+		}
+		c := t.entering()
+		if c < 0 {
+			return nil
+		}
+		r := t.leaving(c)
+		if r < 0 {
+			return ErrUnbounded
+		}
+		t.pivot(r, c)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Dense implementation
+
+// row is one dense tableau row: rational entries n[j]/d with a shared
+// positive denominator d. Keeping rows as integer vectors makes pivots
+// pure big.Int arithmetic (no per-operation gcd as big.Rat would do) and
+// lets a pivot skip every row whose pivot-column entry is zero.
 type row struct {
 	n []*big.Int
 	d *big.Int
@@ -49,28 +195,13 @@ func (r *row) normalize() {
 
 var bigOne = big.NewInt(1)
 
-// blandAfterOverride, when ≥ 0, replaces the per-phase pivot budget after
-// which the pivoting rule falls back from Dantzig's to Bland's. Tests use
-// it to make the fallback (and its reset between phases) observable without
-// constructing pathological cycling programs.
-var blandAfterOverride = -1
-
-// blandBudget returns the number of pivots a phase may spend before the
-// solver suspects cycling and switches to Bland's rule.
-func blandBudget(rows, cols int) int {
-	if blandAfterOverride >= 0 {
-		return blandAfterOverride
-	}
-	return 50 * (rows + cols + 20)
-}
-
 // rational returns entry j as an exact rational.
 func (r *row) rational(j int) rat.Rat { return ratFromBigInts(r.n[j], r.d) }
 
-// tableau is a simplex tableau in solved (basic) form. Column layout:
-// structural variables, then slacks, then artificials, then the
-// right-hand side as the final column.
-type tableau struct {
+// denseTableau is the dense simplex tableau in solved (basic) form.
+// Column layout: structural variables, then slacks, then artificials, then
+// the right-hand side as the final column.
+type denseTableau struct {
 	rows  []*row
 	obj   *row  // reduced-cost row: obj.n[j]/obj.d = cB·B⁻¹Aj − cj; rhs = objective value
 	basis []int // basis[i] = column basic in row i
@@ -82,9 +213,101 @@ type tableau struct {
 	bland      bool
 }
 
+func newDenseTableau(nCols, blandAfter int) *denseTableau {
+	return &denseTableau{
+		rhs:        nCols,
+		dead:       make([]bool, nCols),
+		blandAfter: blandAfter,
+	}
+}
+
+func (t *denseTableau) addRow(entries []colVal, den *big.Int, basic int) {
+	r := newRow(t.rhs + 1)
+	for _, e := range entries {
+		r.n[e.col].Set(e.num)
+	}
+	r.d = new(big.Int).Set(den)
+	r.normalize()
+	t.rows = append(t.rows, r)
+	t.basis = append(t.basis, basic)
+}
+
+func (t *denseTableau) nRows() int          { return len(t.rows) }
+func (t *denseTableau) basic(i int) int     { return t.basis[i] }
+func (t *denseTableau) pivotCount() int     { return t.pivots }
+func (t *denseTableau) objRHSSign() int     { return t.obj.n[t.rhs].Sign() }
+func (t *denseTableau) value(i int) rat.Rat { return t.rows[i].rational(t.rhs) }
+func (t *denseTableau) objValue() rat.Rat   { return t.obj.rational(t.rhs) }
+
+func (t *denseTableau) resetRule(budget int) {
+	t.bland = false
+	t.blandAfter = t.pivots + budget
+}
+
+func (t *denseTableau) markDead(cols []bool) {
+	for j, dead := range cols {
+		if dead {
+			t.dead[j] = true
+		}
+	}
+}
+
+func (t *denseTableau) firstNonzero(i int, skip []bool) (int, int) {
+	r := t.rows[i]
+	for j := 0; j < t.rhs; j++ {
+		if !skip[j] && r.n[j].Sign() != 0 {
+			return j, r.n[j].Sign()
+		}
+	}
+	return -1, 0
+}
+
+func (t *denseTableau) negateRow(i int) {
+	for _, v := range t.rows[i].n {
+		v.Neg(v)
+	}
+}
+
+func (t *denseTableau) dropRow(i int) {
+	t.rows = append(t.rows[:i], t.rows[i+1:]...)
+	t.basis = append(t.basis[:i], t.basis[i+1:]...)
+}
+
+func (t *denseTableau) installPhase1(art []bool) {
+	w := newRow(t.rhs + 1)
+	for j := 0; j < t.rhs; j++ {
+		if art[j] {
+			w.n[j].SetInt64(1)
+		}
+	}
+	t.obj = w
+	for i, b := range t.basis {
+		if art[b] {
+			// w ← w − (w[b]/1)·row_i normalized: w[b] is 1, the row has
+			// row_i[b] = 1 as a rational, so subtract the row in rational
+			// form.
+			t.eliminateRational(w, t.rows[i], b)
+		}
+	}
+}
+
+func (t *denseTableau) installObjective(entries []colVal, den *big.Int) {
+	z := newRow(t.rhs + 1)
+	z.d = new(big.Int).Set(den)
+	for _, e := range entries {
+		z.n[e.col].Set(e.num)
+	}
+	t.obj = z
+	for i, b := range t.basis {
+		if z.n[b].Sign() != 0 {
+			t.eliminateRational(z, t.rows[i], b)
+		}
+	}
+}
+
 // pivot performs a Gauss-Jordan pivot at (pr, pc). The entry must be
 // strictly positive (as a rational).
-func (t *tableau) pivot(pr, pc int) {
+func (t *denseTableau) pivot(pr, pc int) {
 	prow := t.rows[pr]
 	p := prow.n[pc] // > 0
 	for i, ri := range t.rows {
@@ -104,7 +327,7 @@ func (t *tableau) pivot(pr, pc int) {
 
 // eliminate applies ri ← ri − (ri[pc]/p)·prow in row-integer form:
 // n'[j] = n[j]·p − n[pc]·prow.n[j], d' = d·p, then renormalizes.
-func (t *tableau) eliminate(ri, prow *row, p *big.Int, pc int) {
+func (t *denseTableau) eliminate(ri, prow *row, p *big.Int, pc int) {
 	f := ri.n[pc]
 	if f.Sign() == 0 {
 		return // row untouched by this pivot
@@ -134,7 +357,7 @@ func (t *tableau) eliminate(ri, prow *row, p *big.Int, pc int) {
 // entering picks the entering column, or -1 if the tableau is optimal.
 // Dantzig's rule (most negative reduced cost) normally; Bland's rule
 // (lowest index with negative reduced cost) once cycling is suspected.
-func (t *tableau) entering() int {
+func (t *denseTableau) entering() int {
 	if !t.bland && t.pivots > t.blandAfter {
 		t.bland = true
 	}
@@ -158,7 +381,7 @@ func (t *tableau) entering() int {
 // minimizing rhs_i / a_ic over rows with a_ic > 0. Returns -1 when the
 // column is unbounded. Ties break toward the smallest basic column index
 // (required by Bland's rule; harmless otherwise).
-func (t *tableau) leaving(c int) int {
+func (t *denseTableau) leaving(c int) int {
 	best := -1
 	var bn, bd *big.Int // best ratio = bn/bd, bd > 0
 	for i, ri := range t.rows {
@@ -186,25 +409,28 @@ func (t *tableau) leaving(c int) int {
 	return best
 }
 
-// iterate pivots until optimality, unboundedness or context cancellation.
-// Each pivot is dominated by big.Int row arithmetic, so a per-pivot
-// cancellation check costs nothing measurable.
-func (t *tableau) iterate(ctx context.Context) error {
-	for {
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("lp: interrupted after %d pivots: %w", t.pivots, err)
-		}
-		c := t.entering()
-		if c < 0 {
-			return nil
-		}
-		r := t.leaving(c)
-		if r < 0 {
-			return ErrUnbounded
-		}
-		t.pivot(r, c)
+// eliminateRational performs z ← z − z[col]·row, where the row is in solved
+// form (its col entry equals 1 as a rational, i.e. r.n[col] == r.d). Used
+// when (re)installing an objective row over an existing basis:
+//
+//	z'_j = (z.n[j]·r.d − z.n[col]·r.n[j]) / (z.d·r.d)
+func (t *denseTableau) eliminateRational(z *row, r *row, col int) {
+	f := new(big.Int).Set(z.n[col])
+	if f.Sign() == 0 {
+		return
 	}
+	var tmp big.Int
+	for j, nj := range z.n {
+		nj.Mul(nj, r.d)
+		tmp.Mul(f, r.n[j])
+		nj.Sub(nj, &tmp)
+	}
+	z.d = new(big.Int).Mul(z.d, r.d)
+	z.normalize()
 }
+
+// ---------------------------------------------------------------------------
+// Two-phase driver
 
 // Solve optimizes the model and returns an optimal solution, or
 // ErrInfeasible / ErrUnbounded.
@@ -212,41 +438,37 @@ func (m *Model) Solve() (*Solution, error) { return m.SolveCtx(context.Backgroun
 
 // SolveCtx is Solve honoring context cancellation: the simplex loop checks
 // ctx between pivots and returns an error wrapping ctx.Err() when the
-// context is canceled or its deadline expires.
+// context is canceled or its deadline expires. The context also selects
+// the tableau representation (WithTableau; sparse by default).
 func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 	nStruct := len(m.names)
 
-	// Assemble the constraint rows: model constraints plus upper bounds.
+	// Assemble the constraint rows: model constraints (already canonical
+	// sorted-sparse vectors) plus upper bounds.
 	type normRow struct {
-		coeff map[int]rat.Rat
+		terms Expr // sorted by Var, duplicates merged
 		sense Sense
 		rhs   rat.Rat
 	}
 	var rowsIn []normRow
 	for _, c := range m.cons {
-		coeff := make(map[int]rat.Rat)
-		for _, term := range c.Expr {
-			if prev, ok := coeff[int(term.Var)]; ok {
-				coeff[int(term.Var)] = rat.Add(prev, term.Coeff)
-			} else {
-				coeff[int(term.Var)] = rat.Copy(term.Coeff)
-			}
-		}
-		rowsIn = append(rowsIn, normRow{coeff, c.Sense, rat.Copy(c.RHS)})
+		rowsIn = append(rowsIn, normRow{c.Expr, c.Sense, rat.Copy(c.RHS)})
 	}
 	for v, u := range m.upper {
 		if u == nil {
 			continue
 		}
-		rowsIn = append(rowsIn, normRow{map[int]rat.Rat{v: rat.One()}, Leq, rat.Copy(u)})
+		rowsIn = append(rowsIn, normRow{NewExpr().Plus1(Var(v)), Leq, rat.Copy(u)})
 	}
 
 	// Normalize to nonnegative right-hand sides.
 	for i := range rowsIn {
 		if rowsIn[i].rhs.Sign() < 0 {
-			for k, v := range rowsIn[i].coeff {
-				rowsIn[i].coeff[k] = rat.Neg(v)
+			neg := make(Expr, len(rowsIn[i].terms))
+			for j, t := range rowsIn[i].terms {
+				neg[j] = Term{Var: t.Var, Coeff: rat.Neg(t.Coeff)}
 			}
+			rowsIn[i].terms = neg
 			rowsIn[i].rhs = rat.Neg(rowsIn[i].rhs)
 			switch rowsIn[i].sense {
 			case Leq:
@@ -269,46 +491,45 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 		}
 	}
 	nCols := nStruct + nSlack + nArt
-	budget := blandBudget(len(rowsIn), nCols)
-	t := &tableau{
-		rhs:        nCols,
-		dead:       make([]bool, nCols),
-		blandAfter: budget,
-	}
+	budget := blandBudget(len(rowsIn), nCols, m.blandOverride)
+	t := newTableau(TableauFrom(ctx), nCols, budget)
 
 	slackAt := nStruct
 	artAt := nStruct + nSlack
 	artCols := make([]bool, nCols)
 	for _, rin := range rowsIn {
-		r := newRow(nCols + 1)
-		den := rat.DenominatorLCM(append(values(rin.coeff), rin.rhs)...)
-		for v, c := range rin.coeff {
-			r.n[v] = rat.ScaleToInt(c, den)
+		coeffs := make([]rat.Rat, 0, len(rin.terms)+1)
+		for _, term := range rin.terms {
+			coeffs = append(coeffs, term.Coeff)
 		}
-		r.n[nCols] = rat.ScaleToInt(rin.rhs, den)
-		r.d = den
+		den := rat.DenominatorLCM(append(coeffs, rin.rhs)...)
+		entries := make([]colVal, 0, len(rin.terms)+2)
+		for _, term := range rin.terms {
+			entries = append(entries, colVal{int(term.Var), rat.ScaleToInt(term.Coeff, den)})
+		}
 		basic := -1
 		switch rin.sense {
 		case Leq:
-			r.n[slackAt] = new(big.Int).Set(den) // +1 slack
+			entries = append(entries, colVal{slackAt, new(big.Int).Set(den)}) // +1 slack
 			basic = slackAt
 			slackAt++
 		case Geq:
-			r.n[slackAt] = new(big.Int).Neg(den) // -1 surplus
+			entries = append(entries, colVal{slackAt, new(big.Int).Neg(den)}) // -1 surplus
 			slackAt++
-			r.n[artAt] = new(big.Int).Set(den) // +1 artificial
+			entries = append(entries, colVal{artAt, new(big.Int).Set(den)}) // +1 artificial
 			basic = artAt
 			artCols[artAt] = true
 			artAt++
 		case Eq:
-			r.n[artAt] = new(big.Int).Set(den)
+			entries = append(entries, colVal{artAt, new(big.Int).Set(den)})
 			basic = artAt
 			artCols[artAt] = true
 			artAt++
 		}
-		r.normalize()
-		t.rows = append(t.rows, r)
-		t.basis = append(t.basis, basic)
+		if rin.rhs.Sign() != 0 {
+			entries = append(entries, colVal{nCols, rat.ScaleToInt(rin.rhs, den)})
+		}
+		t.addRow(entries, den, basic)
 	}
 
 	// Phase 1: minimize the sum of artificials, i.e. maximize −Σa. The
@@ -316,21 +537,8 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 	// columns are eliminated (each artificial is basic in its row).
 	phase1Pivots := 0
 	if nArt > 0 {
-		w := newRow(nCols + 1)
-		for j := 0; j < nCols; j++ {
-			if artCols[j] {
-				w.n[j].SetInt64(1)
-			}
-		}
-		t.obj = w
-		for i, b := range t.basis {
-			if artCols[b] {
-				// w ← w − (w[b]/1)·row_i normalized: w[b] is 1, row has
-				// t_i[b] = 1, so subtract the row in rational form.
-				t.eliminateRational(w, t.rows[i], b)
-			}
-		}
-		if err := t.iterate(ctx); err != nil {
+		t.installPhase1(artCols)
+		if err := iterate(ctx, t); err != nil {
 			if errors.Is(err, ErrUnbounded) {
 				// Phase 1 objective is bounded (≥ −Σb); unbounded here means
 				// a solver bug, surface it loudly.
@@ -339,44 +547,31 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 			return nil, err
 		}
 		// Optimal phase-1 value is −(sum of artificials); feasible iff 0.
-		if t.obj.n[t.rhs].Sign() != 0 {
+		if t.objRHSSign() != 0 {
 			return nil, ErrInfeasible
 		}
 		// Drive remaining artificials out of the basis.
-		for i := 0; i < len(t.rows); i++ {
-			if !artCols[t.basis[i]] {
+		for i := 0; i < t.nRows(); i++ {
+			if !artCols[t.basic(i)] {
 				continue
 			}
-			piv := -1
-			for j := 0; j < nCols; j++ {
-				if !artCols[j] && t.rows[i].n[j].Sign() != 0 {
-					piv = j
-					break
-				}
-			}
+			piv, sign := t.firstNonzero(i, artCols)
 			if piv == -1 {
 				// Redundant row: all-zero over structural and slack
 				// columns (its rhs is 0 since phase 1 succeeded). Drop it.
-				t.rows = append(t.rows[:i], t.rows[i+1:]...)
-				t.basis = append(t.basis[:i], t.basis[i+1:]...)
+				t.dropRow(i)
 				i--
 				continue
 			}
-			if t.rows[i].n[piv].Sign() < 0 {
+			if sign < 0 {
 				// Negate the row so the pivot entry is positive; the row's
 				// rhs is 0, so feasibility is unaffected.
-				for _, v := range t.rows[i].n {
-					v.Neg(v)
-				}
+				t.negateRow(i)
 			}
 			t.pivot(i, piv)
 		}
-		for j := 0; j < nCols; j++ {
-			if artCols[j] {
-				t.dead[j] = true
-			}
-		}
-		phase1Pivots = t.pivots
+		t.markDead(artCols)
+		phase1Pivots = t.pivotCount()
 	}
 
 	// Phase 2: the real objective. Phase 1 may have tripped the cycling
@@ -384,27 +579,24 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 	// the new objective, so phase 2 restarts on Dantzig's rule with a fresh
 	// pivot budget (otherwise one degenerate phase 1 would force Bland's
 	// slow lowest-index rule on the entire optimization).
-	t.bland = false
-	t.blandAfter = t.pivots + budget
+	t.resetRule(budget)
 
 	// Build the reduced-cost row −c and eliminate the basic columns.
-	z := newRow(nCols + 1)
 	objDen := rat.DenominatorLCM(values(m.obj)...)
-	z.d = objDen
-	for v, c := range m.obj {
+	objEntries := make([]colVal, 0, len(m.obj))
+	for v := 0; v < nStruct; v++ {
+		c, ok := m.obj[Var(v)]
+		if !ok || c.Sign() == 0 {
+			continue
+		}
 		cc := c
 		if !m.maximize {
 			cc = rat.Neg(c)
 		}
-		z.n[v] = new(big.Int).Neg(rat.ScaleToInt(cc, objDen))
+		objEntries = append(objEntries, colVal{v, new(big.Int).Neg(rat.ScaleToInt(cc, objDen))})
 	}
-	t.obj = z
-	for i, b := range t.basis {
-		if z.n[b].Sign() != 0 {
-			t.eliminateRational(z, t.rows[i], b)
-		}
-	}
-	if err := t.iterate(ctx); err != nil {
+	t.installObjective(objEntries, objDen)
+	if err := iterate(ctx, t); err != nil {
 		return nil, err
 	}
 
@@ -413,12 +605,12 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 	for v := range vals {
 		vals[v] = rat.Zero()
 	}
-	for i, b := range t.basis {
-		if b < nStruct {
-			vals[b] = t.rows[i].rational(t.rhs)
+	for i := 0; i < t.nRows(); i++ {
+		if b := t.basic(i); b < nStruct {
+			vals[b] = t.value(i)
 		}
 	}
-	objVal := t.obj.rational(t.rhs)
+	objVal := t.objValue()
 	if !m.maximize {
 		objVal = rat.Neg(objVal)
 	}
@@ -426,29 +618,9 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 		model:            m,
 		Objective:        objVal,
 		values:           vals,
-		Iterations:       t.pivots,
+		Iterations:       t.pivotCount(),
 		Phase1Iterations: phase1Pivots,
 	}, nil
-}
-
-// eliminateRational performs z ← z − z[col]·row, where the row is in solved
-// form (its col entry equals 1 as a rational, i.e. r.n[col] == r.d). Used
-// when (re)installing an objective row over an existing basis:
-//
-//	z'_j = (z.n[j]·r.d − z.n[col]·r.n[j]) / (z.d·r.d)
-func (t *tableau) eliminateRational(z *row, r *row, col int) {
-	f := new(big.Int).Set(z.n[col])
-	if f.Sign() == 0 {
-		return
-	}
-	var tmp big.Int
-	for j, nj := range z.n {
-		nj.Mul(nj, r.d)
-		tmp.Mul(f, r.n[j])
-		nj.Sub(nj, &tmp)
-	}
-	z.d = new(big.Int).Mul(z.d, r.d)
-	z.normalize()
 }
 
 // values collects the values of a map in unspecified order.

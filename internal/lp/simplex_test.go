@@ -188,14 +188,13 @@ func TestPhase2ResetsBlandRule(t *testing.T) {
 	// phase-2 solve was stuck on Bland's slow lowest-index rule. Shrinking
 	// the budget to zero makes any phase 1 "long": its first pivot already
 	// exceeds the budget, so phase 1 ends with bland=true.
-	blandAfterOverride = 0
-	defer func() { blandAfterOverride = -1 }()
-
+	//
 	// max x1 + 2x2 + 3x3  s.t.  x1 + x2 + x3 = 1  → z = 3 at x3 = 1.
 	// Phase 1 (one pivot, enters x1) trips the zero budget. A Dantzig
 	// phase 2 then pivots straight to x3 (most negative reduced cost):
 	// 2 pivots total. A leaked Bland phase 2 walks x2 then x3: 3 pivots.
 	m := NewMaximize()
+	m.setBlandAfter(0)
 	x1 := m.Var("x1")
 	x2 := m.Var("x2")
 	x3 := m.Var("x3")

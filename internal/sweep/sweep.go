@@ -151,14 +151,17 @@ type Options struct {
 }
 
 // Record is one line of the JSONL stream: the scenario name plus either
-// its full solution report or the error that failed it. SolveMS is always
-// at the top level — duplicating the solved report's solve_ms — so stream
-// consumers read one field whether the scenario solved or timed out.
+// its full solution report or the error that failed it. SolveMS and
+// LPNonZeros are always at the top level — duplicating the solved report's
+// fields — so stream consumers read flat fields for offline solve-time and
+// density analysis without digging into the nested report (and shard logs
+// stay self-contained even when the report is absent).
 type Record struct {
-	Name    string              `json:"name"`
-	SolveMS float64             `json:"solve_ms,omitempty"`
-	Report  *steadystate.Report `json:"report,omitempty"`
-	Error   string              `json:"error,omitempty"`
+	Name       string              `json:"name"`
+	SolveMS    float64             `json:"solve_ms,omitempty"`
+	LPNonZeros int                 `json:"lp_nonzeros,omitempty"`
+	Report     *steadystate.Report `json:"report,omitempty"`
+	Error      string              `json:"error,omitempty"`
 }
 
 // runState is the shared accumulator of one Run: the mutex serializes
@@ -177,6 +180,9 @@ func (st *runState) record(name string, rep *steadystate.Report, solveMS float64
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	rec := Record{Name: name, SolveMS: solveMS, Report: rep}
+	if rep != nil {
+		rec.LPNonZeros = rep.LPNonZeros
+	}
 	if err != nil {
 		rec.Error = err.Error()
 		st.failures = append(st.failures, &steadystate.SweepFailure{Name: name, Error: err.Error()})

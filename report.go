@@ -89,13 +89,18 @@ type Report struct {
 	ThroughputFloat float64 `json:"throughput_float"`
 	// Period is the integer schedule period.
 	Period string `json:"period"`
-	// LP records the size and solve cost of the solved linear program:
-	// LPPivots is the total simplex pivot count, LPPhase1Pivots the share
-	// spent finding a feasible basis (phase 1).
-	LPVars         int `json:"lp_vars"`
-	LPConstraints  int `json:"lp_constraints"`
-	LPPivots       int `json:"lp_pivots"`
-	LPPhase1Pivots int `json:"lp_phase1_pivots,omitempty"`
+	// LP records the size, sparsity and solve cost of the solved linear
+	// program: LPNonZeros counts the constraint matrix's nonzero
+	// coefficients and LPDensity is that count over the Vars×Constraints
+	// area (what the sparse tableau exploits); LPPivots is the total
+	// simplex pivot count, LPPhase1Pivots the share spent finding a
+	// feasible basis (phase 1).
+	LPVars         int     `json:"lp_vars"`
+	LPConstraints  int     `json:"lp_constraints"`
+	LPNonZeros     int     `json:"lp_nonzeros"`
+	LPDensity      float64 `json:"lp_density,omitempty"`
+	LPPivots       int     `json:"lp_pivots"`
+	LPPhase1Pivots int     `json:"lp_phase1_pivots,omitempty"`
 	// SolveMS is the wall-clock duration of the Solve call in milliseconds
 	// (zero for member reports, which are solved jointly with their
 	// composite). It is measurement, not arithmetic: two identical solves
@@ -125,6 +130,8 @@ func newReport(kind Kind, tp Rat, period fmt.Stringer, stats core.FlowStats) *Re
 		Period:          period.String(),
 		LPVars:          stats.Vars,
 		LPConstraints:   stats.Constraints,
+		LPNonZeros:      stats.NonZeros,
+		LPDensity:       stats.Density,
 		LPPivots:        stats.Pivots,
 		LPPhase1Pivots:  stats.Phase1Pivots,
 	}
@@ -144,12 +151,14 @@ type SweepResult struct {
 	Kind Kind   `json:"kind"`
 	// Throughput is TP as an exact rational string; Period the integer
 	// schedule period.
-	Throughput     string `json:"throughput"`
-	Period         string `json:"period"`
-	LPVars         int    `json:"lp_vars"`
-	LPConstraints  int    `json:"lp_constraints"`
-	LPPivots       int    `json:"lp_pivots"`
-	LPPhase1Pivots int    `json:"lp_phase1_pivots,omitempty"`
+	Throughput     string  `json:"throughput"`
+	Period         string  `json:"period"`
+	LPVars         int     `json:"lp_vars"`
+	LPConstraints  int     `json:"lp_constraints"`
+	LPNonZeros     int     `json:"lp_nonzeros"`
+	LPDensity      float64 `json:"lp_density,omitempty"`
+	LPPivots       int     `json:"lp_pivots"`
+	LPPhase1Pivots int     `json:"lp_phase1_pivots,omitempty"`
 }
 
 // SweepFailure records one scenario that could not be solved — a file
@@ -171,11 +180,15 @@ type SweepKindStats struct {
 	MinThroughput  string `json:"min_throughput"`
 	MaxThroughput  string `json:"max_throughput"`
 	MeanThroughput string `json:"mean_throughput"`
-	// LP cost totals across the kind's solves.
-	TotalLPVars        int `json:"total_lp_vars"`
-	TotalLPConstraints int `json:"total_lp_constraints"`
-	TotalLPPivots      int `json:"total_lp_pivots"`
-	MaxLPPivots        int `json:"max_lp_pivots"`
+	// LP cost totals across the kind's solves. MeanLPDensity is the
+	// arithmetic mean of the per-scenario densities (averaged over the
+	// name-sorted results, so it is deterministic).
+	TotalLPVars        int     `json:"total_lp_vars"`
+	TotalLPConstraints int     `json:"total_lp_constraints"`
+	TotalLPNonZeros    int     `json:"total_lp_nonzeros"`
+	MeanLPDensity      float64 `json:"mean_lp_density,omitempty"`
+	TotalLPPivots      int     `json:"total_lp_pivots"`
+	MaxLPPivots        int     `json:"max_lp_pivots"`
 }
 
 // SweepTiming carries the sweep's wall-clock measurements, split from the
@@ -226,6 +239,8 @@ func SweepResultOf(name string, rep *Report) *SweepResult {
 		Period:         rep.Period,
 		LPVars:         rep.LPVars,
 		LPConstraints:  rep.LPConstraints,
+		LPNonZeros:     rep.LPNonZeros,
+		LPDensity:      rep.LPDensity,
 		LPPivots:       rep.LPPivots,
 		LPPhase1Pivots: rep.LPPhase1Pivots,
 	}
@@ -246,6 +261,8 @@ func (r *SweepReport) Aggregate() (*SweepReport, error) {
 		count            int
 		min, max, sum    Rat
 		vars, cons       int
+		nonzeros         int
+		density          float64
 		pivots, maxPivot int
 	}
 	byKind := make(map[Kind]*acc)
@@ -270,6 +287,8 @@ func (r *SweepReport) Aggregate() (*SweepReport, error) {
 		}
 		a.vars += res.LPVars
 		a.cons += res.LPConstraints
+		a.nonzeros += res.LPNonZeros
+		a.density += res.LPDensity
 		a.pivots += res.LPPivots
 		if res.LPPivots > a.maxPivot {
 			a.maxPivot = res.LPPivots
@@ -286,6 +305,8 @@ func (r *SweepReport) Aggregate() (*SweepReport, error) {
 			MeanThroughput:     mean.RatString(),
 			TotalLPVars:        a.vars,
 			TotalLPConstraints: a.cons,
+			TotalLPNonZeros:    a.nonzeros,
+			MeanLPDensity:      a.density / float64(a.count),
 			TotalLPPivots:      a.pivots,
 			MaxLPPivots:        a.maxPivot,
 		})
