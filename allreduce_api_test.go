@@ -1,0 +1,354 @@
+// Tests for the allreduce and broadcast kinds through the unified API:
+// golden throughputs on the paper's Figure 6 triangle and the seed-42
+// Tiers platform, degenerate equivalences (single-target broadcast ≡
+// scatter-to-one, pinned 2-rank allreduce), composite membership of
+// broadcasts, serialization round trips, and error paths.
+package steadystate_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/big"
+	"reflect"
+	"testing"
+
+	steadystate "repro"
+)
+
+// TestBroadcastGoldenFig6: golden values on the Figure 6 triangle —
+// replicating one commodity to both peers relays each message once
+// through the cheap P0→P1→P2 chain, sustaining TP = 1/2 where the
+// scatter of distinct messages manages only 1/4.
+func TestBroadcastGoldenFig6(t *testing.T) {
+	p, order, _ := steadystate.PaperFig6()
+	sol, err := steadystate.Solve(context.Background(), p,
+		steadystate.BroadcastSpec(order[0], order[1], order[2]))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	ratEq(t, sol.Throughput(), "1/2", "fig6 broadcast TP")
+	if got := sol.Period().String(); got != "2" {
+		t.Errorf("period = %s, want 2", got)
+	}
+	if err := sol.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	scatter, err := steadystate.Solve(context.Background(), p,
+		steadystate.ScatterSpec(order[0], order[1], order[2]))
+	if err != nil {
+		t.Fatalf("scatter Solve: %v", err)
+	}
+	if sol.Throughput().Cmp(scatter.Throughput()) <= 0 {
+		t.Errorf("broadcast TP %s should beat the distinct-message scatter TP %s",
+			sol.Throughput().RatString(), scatter.Throughput().RatString())
+	}
+	sched, err := sol.Schedule()
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := sched.Verify(); err != nil {
+		t.Errorf("schedule invalid: %v", err)
+	}
+	rep, err := sol.Report()
+	if err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	if rep.Kind != steadystate.KindBroadcast || rep.Throughput != "1/2" {
+		t.Errorf("report = %+v, want broadcast at 1/2", rep)
+	}
+}
+
+// TestBroadcastGoldenTiers: golden values for a broadcast from the first
+// participant of the seed-42 Tiers platform to every other participant.
+func TestBroadcastGoldenTiers(t *testing.T) {
+	p := steadystate.Tiers(steadystate.DefaultTiersConfig(42))
+	parts := p.Participants()
+	sol, err := steadystate.Solve(context.Background(), p,
+		steadystate.BroadcastSpec(parts[0], parts[1:]...))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	ratEq(t, sol.Throughput(), "5", "tiers broadcast TP")
+	if got := sol.Period().String(); got != "1" {
+		t.Errorf("period = %s, want 1", got)
+	}
+	if err := sol.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+// TestBroadcastSingleTargetEqualsScatter: with one target there is
+// nothing to replicate, so the broadcast degenerates to a scatter-to-one
+// and the optimal throughputs coincide (pinned on Fig 2 and Fig 6).
+func TestBroadcastSingleTargetEqualsScatter(t *testing.T) {
+	ctx := context.Background()
+	p2, src, targets := steadystate.PaperFig2()
+	p6, order, _ := steadystate.PaperFig6()
+	cases := []struct {
+		name   string
+		p      *steadystate.Platform
+		src    steadystate.NodeID
+		target steadystate.NodeID
+	}{
+		{"fig2", p2, src, targets[0]},
+		{"fig6", p6, order[0], order[2]},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b, err := steadystate.Solve(ctx, c.p, steadystate.BroadcastSpec(c.src, c.target))
+			if err != nil {
+				t.Fatalf("broadcast Solve: %v", err)
+			}
+			s, err := steadystate.Solve(ctx, c.p, steadystate.ScatterSpec(c.src, c.target))
+			if err != nil {
+				t.Fatalf("scatter Solve: %v", err)
+			}
+			if b.Throughput().Cmp(s.Throughput()) != 0 {
+				t.Errorf("broadcast TP = %s, want scatter-to-one TP = %s",
+					b.Throughput().RatString(), s.Throughput().RatString())
+			}
+			if err := b.Verify(); err != nil {
+				t.Errorf("Verify: %v", err)
+			}
+		})
+	}
+}
+
+// TestAllreduceGoldenFig6: golden values on the Figure 6 triangle — the
+// three concurrent reduces plus the allgather saturate the triangle at a
+// common rate of 1/8 (the reduce-scatter phase alone achieves 1/4).
+func TestAllreduceGoldenFig6(t *testing.T) {
+	p, order, _ := steadystate.PaperFig6()
+	sol, err := steadystate.Solve(context.Background(), p, steadystate.AllreduceSpec(order...))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	ratEq(t, sol.Throughput(), "1/8", "fig6 allreduce TP")
+	if got := sol.Period().String(); got != "8" {
+		t.Errorf("period = %s, want 8", got)
+	}
+	if err := sol.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	members := sol.(steadystate.Concurrent).Members()
+	if len(members) != len(order)+1 {
+		t.Fatalf("got %d members, want %d reduces + 1 allgather", len(members), len(order))
+	}
+	for i, m := range members[:len(order)] {
+		if m.Kind() != steadystate.KindReduce {
+			t.Errorf("member %d kind = %q, want reduce", i, m.Kind())
+		}
+		if m.Spec().Target != order[i] {
+			t.Errorf("member %d targets node %d, want %d (segment i → order[i])",
+				i, m.Spec().Target, order[i])
+		}
+		if err := m.Verify(); err != nil {
+			t.Errorf("member %d Verify: %v", i, err)
+		}
+	}
+	if gk := members[len(order)].Kind(); gk != steadystate.KindGossip {
+		t.Errorf("last member kind = %q, want the allgather gossip", gk)
+	}
+	sched, err := sol.Schedule()
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := sched.Verify(); err != nil {
+		t.Errorf("merged schedule invalid: %v", err)
+	}
+	rep, err := sol.Report()
+	if err != nil {
+		t.Fatalf("Report: %v", err)
+	}
+	if rep.Kind != steadystate.KindAllreduce || len(rep.Members) != 4 {
+		t.Errorf("report kind %q with %d members, want allreduce with 4", rep.Kind, len(rep.Members))
+	}
+}
+
+// TestAllreduceGoldenTiers: golden values for an allreduce over the first
+// three participants of the seed-42 Tiers platform. The same order's
+// reduce-scatter alone runs at 695/283; paying for the allgather phase
+// drops the common rate to 695/571 on the identical topology.
+func TestAllreduceGoldenTiers(t *testing.T) {
+	p := steadystate.Tiers(steadystate.DefaultTiersConfig(42))
+	order := p.Participants()[:3]
+	sol, err := steadystate.Solve(context.Background(), p, steadystate.AllreduceSpec(order...))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	ratEq(t, sol.Throughput(), "695/571", "tiers allreduce TP")
+	if got := sol.Period().String(); got != "571" {
+		t.Errorf("period = %s, want 571", got)
+	}
+	if err := sol.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	sched, err := sol.Schedule()
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := sched.Verify(); err != nil {
+		t.Errorf("merged schedule invalid: %v", err)
+	}
+}
+
+// TestAllreduceTwoRanks: pinned degenerate case — on a symmetric
+// unit-cost pair the reduce-scatter halves (one reduce per direction) and
+// the allgather rides the opposite directions, landing at TP = 1/2.
+func TestAllreduceTwoRanks(t *testing.T) {
+	p := steadystate.NewPlatform()
+	a := p.AddNode("a", steadystate.R(1, 1))
+	b := p.AddNode("b", steadystate.R(1, 1))
+	p.AddLink(a, b, steadystate.R(1, 1))
+
+	sol, err := steadystate.Solve(context.Background(), p, steadystate.AllreduceSpec(a, b))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	ratEq(t, sol.Throughput(), "1/2", "2-rank allreduce TP")
+	if err := sol.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	members := sol.(steadystate.Concurrent).Members()
+	if len(members) != 3 {
+		t.Fatalf("got %d members, want 2 reduces + 1 allgather", len(members))
+	}
+}
+
+// TestBroadcastCompositeMember: a broadcast superposes with other
+// collectives through CompositeSpec, sharing port capacity — and a
+// single-member broadcast composite agrees with the standalone solve.
+func TestBroadcastCompositeMember(t *testing.T) {
+	ctx := context.Background()
+	p, order, _ := steadystate.PaperFig6()
+	bspec := steadystate.BroadcastSpec(order[0], order[1], order[2])
+
+	single, err := steadystate.Solve(ctx, p, steadystate.CompositeSpec([]steadystate.Spec{bspec}, nil))
+	if err != nil {
+		t.Fatalf("single-member composite Solve: %v", err)
+	}
+	plain, err := steadystate.Solve(ctx, p, bspec)
+	if err != nil {
+		t.Fatalf("plain Solve: %v", err)
+	}
+	if single.Throughput().Cmp(plain.Throughput()) != 0 {
+		t.Errorf("composite TP = %s, want plain broadcast %s",
+			single.Throughput().RatString(), plain.Throughput().RatString())
+	}
+	members := single.(steadystate.Concurrent).Members()
+	if len(members) != 1 || members[0].Kind() != steadystate.KindBroadcast {
+		t.Fatalf("members = %v, want one broadcast", members)
+	}
+	if err := single.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+
+	// Superposed with a reverse scatter the common rate drops but the
+	// shared-capacity solution must stay verifiable and schedulable.
+	mixed, err := steadystate.Solve(ctx, p, steadystate.CompositeSpec([]steadystate.Spec{
+		bspec,
+		steadystate.ScatterSpec(order[2], order[0], order[1]),
+	}, nil))
+	if err != nil {
+		t.Fatalf("mixed composite Solve: %v", err)
+	}
+	if err := mixed.Verify(); err != nil {
+		t.Errorf("mixed Verify: %v", err)
+	}
+	sched, err := mixed.Schedule()
+	if err != nil {
+		t.Fatalf("mixed Schedule: %v", err)
+	}
+	if err := sched.Verify(); err != nil {
+		t.Errorf("mixed schedule invalid: %v", err)
+	}
+}
+
+// TestNewKindSpecJSONRoundTrip: broadcast and allreduce specs (and
+// scenarios embedding them) survive JSON round trips and solve after.
+func TestNewKindSpecJSONRoundTrip(t *testing.T) {
+	p, order, _ := steadystate.PaperFig6()
+	for _, spec := range []steadystate.Spec{
+		steadystate.BroadcastSpec(order[0], order[1], order[2]),
+		steadystate.AllreduceSpec(order...),
+	} {
+		data, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", spec.Kind, err)
+		}
+		var back steadystate.Spec
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", spec.Kind, err)
+		}
+		if !reflect.DeepEqual(back, spec) {
+			t.Errorf("%s spec round trip changed:\n%+v\nvs\n%+v", spec.Kind, back, spec)
+		}
+		sc := &steadystate.Scenario{Platform: p, Spec: spec}
+		data, err = json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("scenario marshal %s: %v", spec.Kind, err)
+		}
+		var scBack steadystate.Scenario
+		if err := json.Unmarshal(data, &scBack); err != nil {
+			t.Fatalf("scenario unmarshal %s: %v", spec.Kind, err)
+		}
+		if _, err := scBack.Solve(context.Background()); err != nil {
+			t.Errorf("round-tripped %s scenario solve: %v", spec.Kind, err)
+		}
+	}
+}
+
+// TestNewKindErrorPaths: malformed broadcast/allreduce specs and
+// unsupported options fail loudly.
+func TestNewKindErrorPaths(t *testing.T) {
+	ctx := context.Background()
+	p, order, _ := steadystate.PaperFig6()
+
+	if _, err := steadystate.Solve(ctx, p, steadystate.BroadcastSpec(order[0])); err == nil {
+		t.Error("broadcast with no targets should fail")
+	}
+	if _, err := steadystate.Solve(ctx, p, steadystate.BroadcastSpec(order[0], order[0])); err == nil {
+		t.Error("broadcast to its own source should fail")
+	}
+	if _, err := steadystate.Solve(ctx, p, steadystate.BroadcastSpec(order[0], order[1], order[1])); err == nil {
+		t.Error("duplicate broadcast target should fail")
+	}
+	if _, err := steadystate.Solve(ctx, p, steadystate.BroadcastSpec(order[0], order[1]),
+		steadystate.WithMessageSize(steadystate.R(2, 1))); err == nil {
+		t.Error("broadcast should reject WithMessageSize")
+	}
+	if _, err := steadystate.Solve(ctx, p, steadystate.AllreduceSpec(order[0])); err == nil {
+		t.Error("single-participant allreduce should fail")
+	}
+	if _, err := steadystate.Solve(ctx, p, steadystate.AllreduceSpec(order...),
+		steadystate.WithFixedPeriod(big.NewInt(10))); err == nil {
+		t.Error("WithFixedPeriod on allreduce should fail")
+	}
+	if _, err := steadystate.Solve(ctx, p, steadystate.AllreduceSpec(order...),
+		steadystate.WithBlockSize(steadystate.R(2, 1))); err == nil {
+		t.Error("WithBlockSize on allreduce should fail")
+	}
+	if _, err := steadystate.Solve(ctx, p, steadystate.AllreduceSpec(order...),
+		steadystate.WithMessageSize(steadystate.R(2, 1))); err == nil {
+		t.Error("WithMessageSize on allreduce should fail (allgather segments are unit-size)")
+	}
+	nested := steadystate.CompositeSpec([]steadystate.Spec{steadystate.AllreduceSpec(order...)}, nil)
+	if _, err := steadystate.Solve(ctx, p, nested); err == nil {
+		t.Error("allreduce as composite member should fail (it is itself a composite)")
+	}
+	sol, err := steadystate.Solve(ctx, p, steadystate.AllreduceSpec(order...))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if _, err := sol.SimModel(); !errors.Is(err, steadystate.ErrUnsupported) {
+		t.Errorf("allreduce SimModel error = %v, want ErrUnsupported", err)
+	}
+	bsol, err := steadystate.Solve(ctx, p, steadystate.BroadcastSpec(order[0], order[1]))
+	if err != nil {
+		t.Fatalf("broadcast Solve: %v", err)
+	}
+	if _, err := bsol.SimModel(); !errors.Is(err, steadystate.ErrUnsupported) {
+		t.Errorf("broadcast SimModel error = %v, want ErrUnsupported", err)
+	}
+}

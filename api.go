@@ -32,6 +32,12 @@ const (
 	// KindScatter: one source sends one distinct message per target per
 	// operation (paper Section 3).
 	KindScatter Kind = "scatter"
+	// KindBroadcast: one source sends the same message to every target per
+	// operation (the paper's companion work) — the scatter LP with one
+	// commodity replicated to all targets, charged to the one-port model
+	// through shared per-edge carry rates so a copy forwarded once serves
+	// every target routed through that edge.
+	KindBroadcast Kind = "broadcast"
 	// KindGossip: personalized all-to-all — every source sends a distinct
 	// message to every target per operation (Section 3.5).
 	KindGossip Kind = "gossip"
@@ -50,6 +56,13 @@ const (
 	// reduces (segment i targeted at Order[i]) sharing every node's port
 	// and compute capacity.
 	KindReduceScatter Kind = "reducescatter"
+	// KindAllreduce: every participant of Order ends with the full
+	// reduction v_0 ⊕ … ⊕ v_N — solved as the composite of a
+	// reduce-scatter phase (N concurrent reduces, segment i targeted at
+	// Order[i]) and an allgather phase (a gossip redistributing each
+	// participant's reduced segment to every other rank), all sharing the
+	// platform's port and compute capacity at a common rate.
+	KindAllreduce Kind = "allreduce"
 	// KindComposite: several member collectives superposed on one
 	// platform, maximizing the common (weighted) throughput under shared
 	// one-port and compute constraints.
@@ -61,11 +74,13 @@ const (
 // for a kind are ignored:
 //
 //	KindScatter:       Source, Targets
+//	KindBroadcast:     Source, Targets
 //	KindGossip:        Sources, Targets
 //	KindReduce:        Order (Order[i] holds v_i), Target (must be in Order)
 //	KindGather:        Order, Target (must be in Order)
 //	KindPrefix:        Order
 //	KindReduceScatter: Order (rank i keeps segment i)
+//	KindAllreduce:     Order (every rank receives the full reduction)
 //	KindComposite:     Members (base kinds only), Weights (nil: all 1)
 //
 // Specs serialize to JSON with node IDs; IDs are stable across Platform
@@ -88,6 +103,14 @@ type Spec struct {
 // ScatterSpec returns the spec of a scatter from source to targets.
 func ScatterSpec(source NodeID, targets ...NodeID) Spec {
 	return Spec{Kind: KindScatter, Source: source, Targets: append([]NodeID(nil), targets...)}
+}
+
+// BroadcastSpec returns the spec of a broadcast from source to targets:
+// every target receives a copy of every message. With a single target the
+// problem degenerates to a scatter-to-one (there is nothing to replicate),
+// and the throughputs coincide.
+func BroadcastSpec(source NodeID, targets ...NodeID) Spec {
+	return Spec{Kind: KindBroadcast, Source: source, Targets: append([]NodeID(nil), targets...)}
 }
 
 // GossipSpec returns the spec of a personalized all-to-all from sources
@@ -124,6 +147,17 @@ func PrefixSpec(order ...NodeID) Spec {
 // which whole reduce-scatter operations complete.
 func ReduceScatterSpec(order ...NodeID) Spec {
 	return Spec{Kind: KindReduceScatter, Order: append([]NodeID(nil), order...)}
+}
+
+// AllreduceSpec returns the spec of an allreduce over order: every
+// participant ends with v_0 ⊕ … ⊕ v_N. It solves as the composite of a
+// reduce-scatter phase (one reduce per segment, segment i delivered to
+// order[i]) and an allgather phase (a gossip over the participants
+// redistributing each reduced segment to every other rank), with equal
+// weights — the common throughput is the rate at which whole allreduce
+// operations complete.
+func AllreduceSpec(order ...NodeID) Spec {
+	return Spec{Kind: KindAllreduce, Order: append([]NodeID(nil), order...)}
 }
 
 // CompositeSpec returns the spec of a weighted superposition of member
@@ -171,7 +205,7 @@ type jsonSpec struct {
 func (s Spec) MarshalJSON() ([]byte, error) {
 	js := jsonSpec{Kind: s.Kind}
 	switch s.Kind {
-	case KindScatter:
+	case KindScatter, KindBroadcast:
 		src := s.Source
 		js.Source = &src
 		js.Targets = s.Targets
@@ -182,7 +216,7 @@ func (s Spec) MarshalJSON() ([]byte, error) {
 		tgt := s.Target
 		js.Order = s.Order
 		js.Target = &tgt
-	case KindPrefix, KindReduceScatter:
+	case KindPrefix, KindReduceScatter, KindAllreduce:
 		js.Order = s.Order
 	case KindComposite:
 		js.Members = s.Members
@@ -233,7 +267,7 @@ func (s Spec) validate(p *Platform) error {
 		return nil
 	}
 	switch s.Kind {
-	case KindScatter:
+	case KindScatter, KindBroadcast:
 		if err := check("source", s.Source); err != nil {
 			return err
 		}
@@ -259,7 +293,7 @@ func (s Spec) validate(p *Platform) error {
 			s.Kind, p.Node(s.Target).Name)
 	case KindPrefix:
 		return check("order", s.Order...)
-	case KindReduceScatter:
+	case KindReduceScatter, KindAllreduce:
 		if len(s.Order) < 2 {
 			return fmt.Errorf("steadystate: %s spec: need at least two participants", s.Kind)
 		}
@@ -279,7 +313,7 @@ func (s Spec) validate(p *Platform) error {
 		}
 		for i, mem := range s.Members {
 			switch mem.Kind {
-			case KindComposite, KindReduceScatter:
+			case KindComposite, KindReduceScatter, KindAllreduce:
 				return fmt.Errorf("steadystate: composite member %d: %s members cannot nest", i, mem.Kind)
 			}
 			if err := mem.validate(p); err != nil {
@@ -346,7 +380,7 @@ func optionsFor(kind Kind, opts []SolveOption) (*solveOptions, error) {
 		opt(o)
 	}
 	switch kind {
-	case KindScatter, KindGossip:
+	case KindScatter, KindBroadcast, KindGossip:
 		if o.messageSize != nil || o.taskTime != nil || o.blockSize != nil || o.fixedPeriod != nil {
 			return nil, fmt.Errorf("steadystate: %s solves take no options (message sizes are fixed by edge costs)", kind)
 		}
@@ -365,12 +399,19 @@ func optionsFor(kind Kind, opts []SolveOption) (*solveOptions, error) {
 		if o.fixedPeriod != nil {
 			return nil, fmt.Errorf("steadystate: WithFixedPeriod is not supported for %s specs", KindPrefix)
 		}
-	case KindReduceScatter:
+	case KindReduceScatter, KindAllreduce:
 		if o.blockSize != nil {
 			return nil, fmt.Errorf("steadystate: WithBlockSize applies only to %s specs", KindGather)
 		}
 		if o.fixedPeriod != nil {
-			return nil, fmt.Errorf("steadystate: WithFixedPeriod is not supported for %s specs (the merged schedule has no single tree family)", KindReduceScatter)
+			return nil, fmt.Errorf("steadystate: WithFixedPeriod is not supported for %s specs (the merged schedule has no single tree family)", kind)
+		}
+		if kind == KindAllreduce && o.messageSize != nil {
+			// The allgather member redistributes the reduced segments at
+			// unit size (gossip flows have no size parameter yet); scaling
+			// only the reduce phase would under-charge the allgather and
+			// report an unachievable throughput.
+			return nil, fmt.Errorf("steadystate: WithMessageSize is not supported for %s specs (the allgather phase moves unit-size segments)", KindAllreduce)
 		}
 	case KindComposite:
 		// Size and task-time options pass through to the members they
@@ -408,7 +449,8 @@ type Solution interface {
 	// Verify re-checks the paper's constraints independently of the solver.
 	Verify() error
 	// Unwrap returns the kind-specific solution (*ScatterSolution,
-	// *GossipSolution, *ReduceSolution or *PrefixSolution).
+	// *BroadcastSolution, *GossipSolution, *ReduceSolution,
+	// *PrefixSolution, or *CompositeSolution for the composite kinds).
 	Unwrap() any
 	// String renders the solution as the paper's figures do.
 	String() string
@@ -488,7 +530,7 @@ func (s *Solver) solve(ctx context.Context, spec Spec, opts ...SolveOption) (Sol
 	}
 
 	switch spec.Kind {
-	case KindScatter, KindGossip, KindReduce, KindGather, KindPrefix:
+	case KindScatter, KindBroadcast, KindGossip, KindReduce, KindGather, KindPrefix:
 		mem, err := s.newMember(spec, rat.One(), o)
 		if err != nil {
 			return nil, err
@@ -500,6 +542,12 @@ func (s *Solver) solve(ctx context.Context, spec Spec, opts ...SolveOption) (Sol
 				return nil, err
 			}
 			return &scatterSolution{spec: spec, sol: sol}, nil
+		case mem.Broadcast != nil:
+			sol, err := mem.Broadcast.SolveCtx(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return &broadcastSolution{spec: spec, sol: sol}, nil
 		case mem.Gossip != nil:
 			sol, err := mem.Gossip.SolveCtx(ctx)
 			if err != nil {
@@ -530,6 +578,19 @@ func (s *Solver) solve(ctx context.Context, spec Spec, opts ...SolveOption) (Sol
 		}
 		return s.solveComposite(ctx, spec, members, nil, o)
 
+	case KindAllreduce:
+		// Allreduce is Träff's decomposition: a reduce-scatter phase (N
+		// concurrent reduces, segment i delivered to Order[i]) composed
+		// with an allgather phase (a gossip over the participants
+		// redistributing each reduced segment), every member at weight 1 —
+		// one whole allreduce completes per unit of the common rate.
+		members := make([]Spec, 0, len(spec.Order)+1)
+		for _, id := range spec.Order {
+			members = append(members, ReduceSpec(spec.Order, id))
+		}
+		members = append(members, GossipSpec(spec.Order, spec.Order))
+		return s.solveComposite(ctx, spec, members, nil, o)
+
 	case KindComposite:
 		return s.solveComposite(ctx, spec, spec.Members, spec.Weights, o)
 	}
@@ -547,6 +608,13 @@ func (s *Solver) newMember(spec Spec, weight Rat, o *solveOptions) (composite.Me
 			return composite.Member{}, err
 		}
 		return composite.ScatterMember(pr, weight), nil
+
+	case KindBroadcast:
+		pr, err := scatter.NewBroadcastProblem(s.p, spec.Source, spec.Targets)
+		if err != nil {
+			return composite.Member{}, err
+		}
+		return composite.BroadcastMember(pr, weight), nil
 
 	case KindGossip:
 		pr, err := gossip.NewProblem(s.p, spec.Sources, spec.Targets)
@@ -654,6 +722,32 @@ func (s *scatterSolution) Unwrap() any                  { return s.sol }
 func (s *scatterSolution) String() string               { return s.sol.String() }
 func (s *scatterSolution) Report() (*Report, error) {
 	r := newReport(KindScatter, s.sol.Throughput(), s.sol.Period(), s.sol.Stats)
+	r.SolveMS = s.solveMS()
+	return r, nil
+}
+
+type broadcastSolution struct {
+	timed
+	spec Spec
+	sol  *BroadcastSolution
+}
+
+func (s *broadcastSolution) Kind() Kind       { return KindBroadcast }
+func (s *broadcastSolution) Spec() Spec       { return s.spec }
+func (s *broadcastSolution) Throughput() Rat  { return s.sol.Throughput() }
+func (s *broadcastSolution) Period() *big.Int { return s.sol.Period() }
+
+// Schedule decomposes the carry stream — the messages physically moved,
+// one shared copy per edge — into one-port-safe matching slots.
+func (s *broadcastSolution) Schedule() (*Schedule, error) { return BroadcastSchedule(s.sol) }
+func (s *broadcastSolution) SimModel() (*SimModel, error) {
+	return nil, fmt.Errorf("broadcast protocol simulation: %w", ErrUnsupported)
+}
+func (s *broadcastSolution) Verify() error  { return s.sol.Verify() }
+func (s *broadcastSolution) Unwrap() any    { return s.sol }
+func (s *broadcastSolution) String() string { return s.sol.String() }
+func (s *broadcastSolution) Report() (*Report, error) {
+	r := newReport(KindBroadcast, s.sol.Throughput(), s.sol.Period(), s.sol.Stats)
 	r.SolveMS = s.solveMS()
 	return r, nil
 }
@@ -825,6 +919,8 @@ func (s *compositeSolution) Members() []Solution {
 		switch {
 		case ms.Scatter != nil:
 			out[i] = &scatterSolution{spec: spec, sol: ms.Scatter}
+		case ms.Broadcast != nil:
+			out[i] = &broadcastSolution{spec: spec, sol: ms.Broadcast}
 		case ms.Gossip != nil:
 			out[i] = &gossipSolution{spec: spec, sol: ms.Gossip}
 		case ms.Reduce != nil:

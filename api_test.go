@@ -249,7 +249,7 @@ func TestSolveErrorPaths(t *testing.T) {
 		{"duplicate targets", p, steadystate.ScatterSpec(src, targets[0], targets[0]), nil},
 		{"unknown order id", p6, steadystate.ReduceSpec([]steadystate.NodeID{order[0], 99}, target), nil},
 		{"target not in order", p6, steadystate.ReduceSpec(order[:2], order[2]), nil},
-		{"unknown kind", p6, steadystate.Spec{Kind: "allreduce", Order: order}, nil},
+		{"unknown kind", p6, steadystate.Spec{Kind: "allteleport", Order: order}, nil},
 		{"empty kind", p6, steadystate.Spec{}, nil},
 		{"gossip no sources", p6, steadystate.GossipSpec(nil, order), nil},
 		{"prefix single participant", p6, steadystate.PrefixSpec(order[0]), nil},

@@ -1,0 +1,157 @@
+// Command doccheck enforces the repository's documentation bar: every
+// exported identifier in the listed package directories must carry a doc
+// comment. It is the CI docs job's replacement for an external linter's
+// "exported" rule — pure go/ast, no dependencies.
+//
+// Usage:
+//
+//	doccheck ./pkg1 ./pkg2 ...
+//
+// For each directory, every non-test Go file is parsed and the exported
+// top-level declarations are checked:
+//
+//   - functions and methods (methods only when their receiver type is
+//     itself exported) need a doc comment on the declaration;
+//   - types need a doc comment on the declaration group or the spec;
+//   - consts and vars need a doc comment on the group, the spec, or a
+//     trailing line comment.
+//
+// Offenders are listed one per line as file:line: identifier; any
+// offender makes the command exit non-zero.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run checks every directory argument and returns an error when any
+// exported identifier lacks documentation (or a directory fails to
+// parse); factored out of main for testability.
+func run(dirs []string, out io.Writer) error {
+	if len(dirs) == 0 {
+		return fmt.Errorf("no package directories given")
+	}
+	total := 0
+	for _, dir := range dirs {
+		missing, err := checkDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, m := range missing {
+			fmt.Fprintln(out, m)
+		}
+		total += len(missing)
+	}
+	if total > 0 {
+		return fmt.Errorf("%d exported identifier(s) missing doc comments", total)
+	}
+	return nil
+}
+
+// checkDir parses the directory's non-test Go files and returns one
+// "file:line: exported X is missing a doc comment" entry per offender.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", dir, err)
+	}
+	var missing []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: exported %s %s is missing a doc comment",
+			filepath.ToSlash(p.Filename), p.Line, what, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					checkFunc(d, report)
+				case *ast.GenDecl:
+					checkGen(d, report)
+				}
+			}
+		}
+	}
+	return missing, nil
+}
+
+// checkFunc flags exported functions — and methods on exported receiver
+// types — without doc comments.
+func checkFunc(d *ast.FuncDecl, report func(token.Pos, string, string)) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	what, name := "function", d.Name.Name
+	if d.Recv != nil && len(d.Recv.List) > 0 {
+		recv := receiverName(d.Recv.List[0].Type)
+		if recv == "" || !ast.IsExported(recv) {
+			return // a method on an unexported type is not API surface
+		}
+		what, name = "method", recv+"."+d.Name.Name
+	}
+	report(d.Pos(), what, name)
+}
+
+// checkGen flags exported type, const and var specs whose group and spec
+// both lack documentation (const/var specs also accept a trailing line
+// comment, the idiomatic style for enum-like groups).
+func checkGen(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			what := "const"
+			if d.Tok == token.VAR {
+				what = "var"
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(name.Pos(), what, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverName unwraps a method receiver's type expression to its named
+// type, looking through pointers and generic instantiations.
+func receiverName(expr ast.Expr) string {
+	for {
+		switch t := expr.(type) {
+		case *ast.StarExpr:
+			expr = t.X
+		case *ast.IndexExpr:
+			expr = t.X
+		case *ast.IndexListExpr:
+			expr = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}

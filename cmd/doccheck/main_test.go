@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writePkg lays one Go file down as a throwaway package directory.
+func writePkg(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestDoccheckFlagsUndocumentedExports(t *testing.T) {
+	dir := writePkg(t, `package x
+
+func Exported() {}
+
+type Exposed struct{}
+
+func (Exposed) Method() {}
+
+const Loose = 1
+
+var V = 2
+`)
+	var out bytes.Buffer
+	err := run([]string{dir}, &out)
+	if err == nil {
+		t.Fatal("undocumented exports should fail")
+	}
+	got := out.String()
+	for _, want := range []string{
+		"function Exported", "type Exposed", "method Exposed.Method", "const Loose", "var V",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDoccheckAcceptsDocumentedAndUnexported(t *testing.T) {
+	dir := writePkg(t, `package x
+
+// Exported does nothing.
+func Exported() {}
+
+// Group docs cover every spec.
+const (
+	A = 1
+	B = 2
+)
+
+const (
+	C = 3 // trailing comments count too
+)
+
+type hidden struct{}
+
+func (hidden) Method() {} // method on unexported type: not API surface
+
+func internal() {}
+`)
+	var out bytes.Buffer
+	if err := run([]string{dir}, &out); err != nil {
+		t.Fatalf("clean package flagged: %v\n%s", err, out.String())
+	}
+}
+
+func TestDoccheckErrors(t *testing.T) {
+	if err := run(nil, new(bytes.Buffer)); err == nil {
+		t.Error("no directories should fail")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "missing")}, new(bytes.Buffer)); err == nil {
+		t.Error("missing directory should fail")
+	}
+}
+
+// TestDoccheckRepoPackagesClean pins the documentation bar for the
+// packages the CI docs job checks — the same list, kept green here so
+// drift is caught by go test before CI.
+func TestDoccheckRepoPackagesClean(t *testing.T) {
+	dirs := []string{
+		"../..",
+		"../../internal/composite",
+		"../../internal/sweep",
+		"../../internal/schedule",
+		"../../internal/sim",
+		"../../internal/scatter",
+		"../../internal/gossip",
+		".",
+	}
+	var out bytes.Buffer
+	if err := run(dirs, &out); err != nil {
+		t.Errorf("doccheck: %v\n%s", err, out.String())
+	}
+}

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	paperbench                      # run everything
-//	paperbench -run fig9            # run one experiment (fig2|fig3|fig4|fig6|fig7|fig9|prop1|prop3|prop4|gossip|prefix|rscatter|baseline|scaling|session)
+//	paperbench -run fig9            # run one experiment (fig2|fig3|fig4|fig6|fig7|fig9|prop1|prop3|prop4|gossip|prefix|rscatter|bcast|allreduce|baseline|scaling|session)
 //	paperbench -timeout 30s         # bound every solve with a deadline
 //	paperbench -scenario work.json  # solve one scenario file, print its report JSON
 package main
@@ -61,7 +61,7 @@ func main() {
 		{"fig2", fig2}, {"fig3", fig3}, {"fig4", fig4}, {"fig6", fig6},
 		{"fig7", fig7}, {"fig9", fig9}, {"prop1", prop1}, {"prop3", prop3},
 		{"prop4", prop4}, {"gossip", gossipExp}, {"prefix", prefixExp},
-		{"rscatter", reduceScatterExp},
+		{"rscatter", reduceScatterExp}, {"bcast", broadcastExp}, {"allreduce", allreduceExp},
 		{"baseline", baselineExp}, {"scaling", scaling}, {"session", sessionExp},
 	}
 	any := false
@@ -291,6 +291,44 @@ func reduceScatterExp() {
 	solveRS("fig6 triangle", p6, order)
 	ring := steadystate.Ring(4, steadystate.R(1, 2), steadystate.R(1, 1))
 	solveRS("ring-4", ring, ring.Participants())
+}
+
+// broadcastExp: broadcast vs scatter on the Fig-2 platform — replication
+// (one copy per edge serves every target routed through it) strictly
+// beats the per-target scatter streams, and a single-target broadcast
+// degenerates to scatter-to-one.
+func broadcastExp() {
+	p, src, targets := steadystate.PaperFig2()
+	bsol := must(steadystate.Solve(ctx, p, steadystate.BroadcastSpec(src, targets...)))
+	must(0, bsol.Verify())
+	ssol := must(steadystate.Solve(ctx, p, steadystate.ScatterSpec(src, targets...)))
+	fmt.Fprintf(out, "fig2 broadcast: TP = %s (scatter of distinct messages: %s, %.2fx)\n",
+		bsol.Throughput().RatString(), ssol.Throughput().RatString(),
+		f(new(big.Rat).Quo(bsol.Throughput(), ssol.Throughput())))
+	fmt.Fprint(out, bsol.String())
+	one := must(steadystate.Solve(ctx, p, steadystate.BroadcastSpec(src, targets[0])))
+	oneScatter := must(steadystate.Solve(ctx, p, steadystate.ScatterSpec(src, targets[0])))
+	fmt.Fprintf(out, "single-target degeneration: broadcast TP = %s, scatter-to-one TP = %s\n",
+		one.Throughput().RatString(), oneScatter.Throughput().RatString())
+}
+
+// allreduceExp: allreduce on the Fig-6 triangle — the reduce-scatter
+// phase composed with an allgather at a common rate, contrasted with the
+// reduce-scatter alone.
+func allreduceExp() {
+	p, order, _ := steadystate.PaperFig6()
+	sol := must(steadystate.Solve(ctx, p, steadystate.AllreduceSpec(order...)))
+	must(0, sol.Verify())
+	rs := must(steadystate.Solve(ctx, p, steadystate.ReduceScatterSpec(order...)))
+	fmt.Fprintf(out, "fig6 allreduce: TP = %s (reduce-scatter phase alone: %s)\n",
+		sol.Throughput().RatString(), rs.Throughput().RatString())
+	for _, member := range sol.(steadystate.Concurrent).Members() {
+		rep := must(member.Report())
+		fmt.Fprintf(out, "  member %-7s TP = %s\n", rep.Kind, rep.Throughput)
+	}
+	sched := must(sol.Schedule())
+	fmt.Fprintf(out, "merged schedule: %d slots, busy %s of period %s\n",
+		len(sched.Slots), sched.BusyTime().RatString(), sched.Period.RatString())
 }
 
 // baselineExp: LP vs fixed-plan baselines on the paper platforms.

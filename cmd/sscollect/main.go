@@ -6,11 +6,13 @@
 // Usage:
 //
 //	sscollect -platform p.json -op scatter -source n0 -targets n1,n2
+//	sscollect -platform p.json -op broadcast -source n0 -targets n1,n2 -schedule
 //	sscollect -platform p.json -op gossip  -sources n0,n1 -targets n2,n3
 //	sscollect -platform p.json -op reduce  -order n0,n1,n2 -target n0 -trees -schedule
 //	sscollect -platform p.json -op gather  -order n0,n1,n2 -target n0 -blocksize 2
 //	sscollect -platform p.json -op prefix  -order n0,n1,n2
 //	sscollect -platform p.json -op reducescatter -order n0,n1,n2 -schedule
+//	sscollect -platform p.json -op allreduce -order n0,n1,n2 -schedule
 //	sscollect -platform scenario.json -report report.json
 //
 // A scenario file (cmd/topogen -spec) carries both the platform and the
@@ -46,7 +48,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		platformFile = fs.String("platform", "", "platform or scenario JSON file, or fig2|fig6|fig9")
-		op           = fs.String("op", "", "collective: scatter|gossip|reduce|gather|prefix|reducescatter (default: the scenario's spec, else scatter)")
+		op           = fs.String("op", "", "collective: scatter|broadcast|gossip|reduce|gather|prefix|reducescatter|allreduce (default: the scenario's spec, else scatter)")
 		source       = fs.String("source", "", "scatter source node name")
 		sources      = fs.String("sources", "", "gossip source names, comma separated")
 		targets      = fs.String("targets", "", "scatter/gossip target names, comma separated")
@@ -122,6 +124,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("bad -size: %w", err)
 		}
 		opts = append(opts, steadystate.WithMessageSize(sz))
+	case steadystate.KindAllreduce:
+		if *size != "1" {
+			return fmt.Errorf("-size is not supported for allreduce (the allgather phase moves unit-size segments)")
+		}
 	case steadystate.KindGather:
 		bs, err := steadystate.ParseRat(*blockSize)
 		if err != nil {

@@ -76,8 +76,8 @@ func TestSweepStdout(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &report); err != nil {
 		t.Fatalf("stdout is not a SweepReport: %v", err)
 	}
-	if report.Scenarios != 2 || report.Failed != 0 {
-		t.Errorf("glob sweep saw %d scenarios (%d failed), want 2 clean fig6 solves",
+	if report.Scenarios != 3 || report.Failed != 0 {
+		t.Errorf("glob sweep saw %d scenarios (%d failed), want 3 clean fig6 solves",
 			report.Scenarios, report.Failed)
 	}
 }
@@ -105,8 +105,8 @@ func TestSweepShardFlag(t *testing.T) {
 	if report.Shard != "0/2" {
 		t.Errorf("shard label = %q, want 0/2", report.Shard)
 	}
-	if report.Scenarios == 0 || report.Scenarios >= 6 {
-		t.Errorf("shard 0/2 covers %d scenarios, want a strict subset of 6", report.Scenarios)
+	if report.Scenarios == 0 || report.Scenarios >= 8 {
+		t.Errorf("shard 0/2 covers %d scenarios, want a strict subset of 8", report.Scenarios)
 	}
 }
 

@@ -15,10 +15,14 @@
 //
 // With -spec the output is a scenario file — the platform plus the spec
 // of a collective to solve on it (-op
-// scatter|gossip|reduce|gather|prefix|reducescatter) — which cmd/sscollect,
-// cmd/paperbench and cmd/sweep consume directly. Composite scenarios
-// (several weighted member collectives) are built programmatically with
-// CompositeSpec and serialize through the same format.
+// scatter|broadcast|gossip|reduce|gather|prefix|reducescatter|allreduce)
+// — which cmd/sscollect, cmd/paperbench and cmd/sweep consume directly.
+// -ranks N caps the number of participants the spec involves, which keeps
+// LP sizes bounded for the expensive composite kinds (an allreduce over
+// all ranks of a Tiers platform is an order of magnitude larger than one
+// over three). Composite scenarios (several weighted member collectives)
+// are built programmatically with CompositeSpec and serialize through the
+// same format.
 //
 // With -count N, topogen synthesizes a scenario batch for cmd/sweep:
 // -out names a directory (created if missing) receiving N numbered
@@ -63,7 +67,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		out      = fs.String("out", "", "output file (default stdout)")
 		dot      = fs.Bool("dot", false, "emit Graphviz DOT instead of JSON")
 		withSpec = fs.Bool("spec", false, "emit a scenario (platform + collective spec) instead of a bare platform")
-		op       = fs.String("op", "", "collective kind for -spec: scatter|gossip|reduce|gather|prefix|reducescatter (default: the figure's canonical collective, else scatter)")
+		op       = fs.String("op", "", "collective kind for -spec: scatter|broadcast|gossip|reduce|gather|prefix|reducescatter|allreduce (default: the figure's canonical collective, else scatter)")
+		ranks    = fs.Int("ranks", 0, "cap the number of participants the -spec roles involve (0: all participants)")
 		count    = fs.Int("count", 0, "emit a batch of this many numbered scenario files into the -out directory, scenario i seeded with -seed+i")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -79,7 +84,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("bad -speed: %w", err)
 	}
 
-	cfg := genConfig{kind: *kind, n: *n, rows: *rows, cols: *cols, extra: *extra, cost: c, speed: s}
+	if *ranks < 0 {
+		return fmt.Errorf("bad -ranks: %d is negative", *ranks)
+	}
+	cfg := genConfig{kind: *kind, n: *n, rows: *rows, cols: *cols, extra: *extra, cost: c, speed: s, ranks: *ranks}
 	if *count > 0 {
 		if *dot {
 			return fmt.Errorf("-count emits scenario batches, not DOT")
@@ -102,7 +110,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	case *dot:
 		data = []byte(p.DOT())
 	case *withSpec:
-		spec, err := defaultSpec(p, steadystate.Kind(*op), figSpec)
+		spec, err := defaultSpec(p, steadystate.Kind(*op), figSpec, cfg.ranks)
 		if err != nil {
 			return err
 		}
@@ -141,6 +149,8 @@ type genConfig struct {
 	rows, cols  int
 	extra       float64
 	cost, speed steadystate.Rat
+	// ranks caps the participants a generated spec involves (0: all).
+	ranks int
 }
 
 // build constructs one platform of the configured kind with the given
@@ -206,7 +216,7 @@ func runBatch(cfg genConfig, count int, baseSeed int64, op steadystate.Kind, out
 				return fmt.Errorf("scenario %d: generated platform invalid: %w", i, err)
 			}
 		}
-		spec, err := defaultSpec(p, op, figSpec)
+		spec, err := defaultSpec(p, op, figSpec, cfg.ranks)
 		if err != nil {
 			return fmt.Errorf("scenario %d: %w", i, err)
 		}
@@ -235,18 +245,30 @@ func runBatch(cfg genConfig, count int, baseSeed int64, op steadystate.Kind, out
 // defaultSpec builds the scenario spec for a generated platform: the
 // figure platforms keep their canonical roles (re-kinded when -op asks
 // for a different collective over the same participants), every other
-// platform uses its participants in ID order.
-func defaultSpec(p *steadystate.Platform, kind steadystate.Kind, figSpec *steadystate.Spec) (steadystate.Spec, error) {
+// platform uses its participants in ID order. ranks > 0 caps the
+// participant list before roles are assigned.
+func defaultSpec(p *steadystate.Platform, kind steadystate.Kind, figSpec *steadystate.Spec, ranks int) (steadystate.Spec, error) {
+	capped := func(parts []steadystate.NodeID) []steadystate.NodeID {
+		if ranks > 0 && len(parts) > ranks {
+			return parts[:ranks]
+		}
+		return parts
+	}
 	if figSpec != nil {
 		spec := *figSpec
+		parts := specParticipants(spec)
 		if kind != "" && kind != spec.Kind {
 			// Re-target the canonical roles at the requested collective.
-			parts := specParticipants(spec)
-			return rolesFor(kind, parts)
+			return rolesFor(kind, capped(parts))
+		}
+		if ranks > 0 && ranks < len(parts) {
+			// Capping drops participants, so the canonical roles must be
+			// re-derived over the truncated list.
+			return rolesFor(spec.Kind, capped(parts))
 		}
 		return spec, nil
 	}
-	return rolesFor(kind, p.Participants())
+	return rolesFor(kind, capped(p.Participants()))
 }
 
 // specParticipants lists the nodes a figure spec involves, in role order.
@@ -267,6 +289,8 @@ func rolesFor(kind steadystate.Kind, parts []steadystate.NodeID) (steadystate.Sp
 	switch kind {
 	case steadystate.KindScatter, "":
 		return steadystate.ScatterSpec(parts[0], parts[1:]...), nil
+	case steadystate.KindBroadcast:
+		return steadystate.BroadcastSpec(parts[0], parts[1:]...), nil
 	case steadystate.KindGossip:
 		return steadystate.GossipSpec(parts, parts), nil
 	case steadystate.KindReduce:
@@ -277,6 +301,8 @@ func rolesFor(kind steadystate.Kind, parts []steadystate.NodeID) (steadystate.Sp
 		return steadystate.PrefixSpec(parts...), nil
 	case steadystate.KindReduceScatter:
 		return steadystate.ReduceScatterSpec(parts...), nil
+	case steadystate.KindAllreduce:
+		return steadystate.AllreduceSpec(parts...), nil
 	}
 	return steadystate.Spec{}, fmt.Errorf("unknown -op %q", kind)
 }

@@ -65,7 +65,7 @@ func TestAllKinds(t *testing.T) {
 }
 
 func TestEmitScenario(t *testing.T) {
-	for _, op := range []string{"scatter", "gossip", "reduce", "gather", "prefix"} {
+	for _, op := range []string{"scatter", "broadcast", "gossip", "reduce", "gather", "prefix", "reducescatter", "allreduce"} {
 		out, _ := runOK(t, "-kind", "ring", "-n", "4", "-spec", "-op", op)
 		var sc steadystate.Scenario
 		if err := json.Unmarshal([]byte(out), &sc); err != nil {
@@ -94,6 +94,38 @@ func TestEmitScenarioFigureKeepsCanonicalRoles(t *testing.T) {
 	}
 	if sol.Throughput().RatString() != "1" {
 		t.Errorf("fig6 scenario TP = %s, want 1", sol.Throughput().RatString())
+	}
+}
+
+// TestRanksCapsSpecParticipants: -ranks bounds the participants a spec
+// involves, keeping the composite kinds' LP sizes in check.
+func TestRanksCapsSpecParticipants(t *testing.T) {
+	out, _ := runOK(t, "-kind", "tiers", "-seed", "42", "-spec", "-op", "allreduce", "-ranks", "3")
+	var sc steadystate.Scenario
+	if err := json.Unmarshal([]byte(out), &sc); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Spec.Order) != 3 {
+		t.Errorf("allreduce order has %d ranks, want 3", len(sc.Spec.Order))
+	}
+	if _, err := sc.Solve(context.Background()); err != nil {
+		t.Errorf("capped scenario does not solve: %v", err)
+	}
+	if err := run([]string{"-ranks", "-1", "-spec"}, new(bytes.Buffer), new(bytes.Buffer)); err == nil {
+		t.Error("negative -ranks should fail")
+	}
+
+	// Figure platforms keeping their canonical collective re-derive the
+	// roles when -ranks truncates the participant list.
+	out, _ = runOK(t, "-kind", "fig6", "-spec", "-op", "reduce", "-ranks", "2")
+	if err := json.Unmarshal([]byte(out), &sc); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Spec.Order) != 2 {
+		t.Errorf("fig6 reduce order has %d ranks with -ranks 2", len(sc.Spec.Order))
+	}
+	if _, err := sc.Solve(context.Background()); err != nil {
+		t.Errorf("capped figure scenario does not solve: %v", err)
 	}
 }
 

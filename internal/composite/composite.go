@@ -2,19 +2,25 @@
 // superposition of several collective operations on one heterogeneous
 // platform, solved as a single linear program with shared capacity rows.
 //
-// The paper expresses every collective (scatter, gossip, reduce, gather,
-// prefix) as the same kind of steady-state LP over one platform graph, so
-// running several of them concurrently is just the union of their programs
-// under shared per-node one-port send/receive constraints — and, for
-// reduce-family members, shared per-node compute constraints. The model
-// maximizes a common base throughput TP; member i runs at Weight_i · TP,
-// so equal weights yield the max-min fair common rate and unequal weights
-// trade members off proportionally.
+// The paper expresses every collective (scatter, broadcast, gossip,
+// reduce, gather, prefix) as the same kind of steady-state LP over one
+// platform graph, so running several of them concurrently is just the
+// union of their programs under shared per-node one-port send/receive
+// constraints — and, for reduce-family members, shared per-node compute
+// constraints. The model maximizes a common base throughput TP; member i
+// runs at Weight_i · TP, so equal weights yield the max-min fair common
+// rate and unequal weights trade members off proportionally.
 //
-// Reduce-scatter — participant i ends up with segment i reduced over all
-// ranks — is exactly this construction: N concurrent reduces over the same
-// participant order, reduce i delivering to participant i, all with weight
-// one.
+// Two collectives of the public API are pure instances of this
+// construction:
+//
+//   - Reduce-scatter — participant i ends up with segment i reduced over
+//     all ranks — is N concurrent reduces over the same participant
+//     order, reduce i delivering to participant i, all with weight one.
+//   - Allreduce — every participant ends up with the full reduction —
+//     composes that reduce-scatter phase with an allgather: a gossip
+//     member redistributing each participant's reduced segment to every
+//     other rank, at the same weight-one rate.
 //
 // Each member's variables keep their own conservation structure (the
 // members exchange no data), so the per-member sub-solutions are ordinary
@@ -46,16 +52,22 @@ import (
 // set, and Weight scales the member's delivered rate relative to the
 // common base throughput (member i delivers Weight_i · TP per time unit).
 type Member struct {
-	Weight  rat.Rat
-	Scatter *scatter.Problem
-	Gossip  *gossip.Problem
-	Reduce  *reduce.Problem
-	Prefix  *prefix.Problem
+	Weight    rat.Rat
+	Scatter   *scatter.Problem
+	Broadcast *scatter.BroadcastProblem
+	Gossip    *gossip.Problem
+	Reduce    *reduce.Problem
+	Prefix    *prefix.Problem
 }
 
 // ScatterMember wraps a scatter problem as a weighted member.
 func ScatterMember(pr *scatter.Problem, weight rat.Rat) Member {
 	return Member{Weight: rat.Copy(weight), Scatter: pr}
+}
+
+// BroadcastMember wraps a broadcast problem as a weighted member.
+func BroadcastMember(pr *scatter.BroadcastProblem, weight rat.Rat) Member {
+	return Member{Weight: rat.Copy(weight), Broadcast: pr}
 }
 
 // GossipMember wraps a gossip problem as a weighted member.
@@ -78,6 +90,8 @@ func (mem Member) Kind() string {
 	switch {
 	case mem.Scatter != nil:
 		return "scatter"
+	case mem.Broadcast != nil:
+		return "broadcast"
 	case mem.Gossip != nil:
 		return "gossip"
 	case mem.Reduce != nil:
@@ -93,6 +107,8 @@ func (mem Member) platform() *graph.Platform {
 	switch {
 	case mem.Scatter != nil:
 		return mem.Scatter.Platform
+	case mem.Broadcast != nil:
+		return mem.Broadcast.Platform
 	case mem.Gossip != nil:
 		return mem.Gossip.Platform
 	case mem.Reduce != nil:
@@ -105,7 +121,7 @@ func (mem Member) platform() *graph.Platform {
 
 func (mem Member) validate(i int, p *graph.Platform) error {
 	set := 0
-	for _, ok := range []bool{mem.Scatter != nil, mem.Gossip != nil, mem.Reduce != nil, mem.Prefix != nil} {
+	for _, ok := range []bool{mem.Scatter != nil, mem.Broadcast != nil, mem.Gossip != nil, mem.Reduce != nil, mem.Prefix != nil} {
 		if ok {
 			set++
 		}
@@ -151,6 +167,7 @@ type MemberSolution struct {
 	Weight     rat.Rat
 	Throughput rat.Rat
 	Scatter    *scatter.Solution
+	Broadcast  *scatter.BroadcastSolution
 	Gossip     *gossip.Solution
 	Reduce     *reduce.Solution
 	Prefix     *prefix.Solution
@@ -161,6 +178,8 @@ func (ms *MemberSolution) Kind() string {
 	switch {
 	case ms.Scatter != nil:
 		return "scatter"
+	case ms.Broadcast != nil:
+		return "broadcast"
 	case ms.Gossip != nil:
 		return "gossip"
 	case ms.Reduce != nil:
@@ -177,6 +196,8 @@ func (ms *MemberSolution) Verify() error {
 	switch {
 	case ms.Scatter != nil:
 		return ms.Scatter.Verify()
+	case ms.Broadcast != nil:
+		return ms.Broadcast.Verify()
 	case ms.Gossip != nil:
 		return ms.Gossip.Verify()
 	case ms.Reduce != nil:
@@ -192,6 +213,8 @@ func (ms *MemberSolution) AllRates() []rat.Rat {
 	switch {
 	case ms.Scatter != nil:
 		return ms.Scatter.Flow.AllRates()
+	case ms.Broadcast != nil:
+		return ms.Broadcast.AllRates()
 	case ms.Gossip != nil:
 		return ms.Gossip.Flow.AllRates()
 	case ms.Reduce != nil:
@@ -233,6 +256,8 @@ func (ms *MemberSolution) sizeOf(r reduce.Range) rat.Rat {
 func (ms *MemberSolution) flows(p *graph.Platform, label string) schedule.MemberFlow {
 	var out schedule.MemberFlow
 	switch {
+	case ms.Broadcast != nil:
+		out = BroadcastMemberFlow(ms.Broadcast, label)
 	case ms.Scatter != nil, ms.Gossip != nil:
 		var flow *core.Flow[core.Commodity]
 		if ms.Scatter != nil {
@@ -287,6 +312,21 @@ func (ms *MemberSolution) flows(p *graph.Platform, label string) schedule.Member
 	return out
 }
 
+// BroadcastMemberFlow converts a broadcast solution's carry stream — the
+// messages physically moved, one shared copy per edge, not one per
+// target — into a merged-schedule member flow, with every transfer
+// labeled label+"bcast". It is the single conversion point for both the
+// standalone broadcast schedule and composite merged schedules.
+func BroadcastMemberFlow(sol *scatter.BroadcastSolution, label string) schedule.MemberFlow {
+	var out schedule.MemberFlow
+	for _, tr := range sol.CarryTransfers() {
+		out.Transfers = append(out.Transfers, schedule.FlowTransfer{
+			From: tr.From, To: tr.To, Label: label + "bcast", Size: rat.One(), Rate: tr.Rate,
+		})
+	}
+	return out
+}
+
 // Solution is a solved composite: the common base throughput TP (member i
 // runs at Weight_i · TP) and the per-member sub-solutions.
 type Solution struct {
@@ -298,9 +338,10 @@ type Solution struct {
 
 // memberFragments holds one member's LP fragments during assembly.
 type memberFragments struct {
-	flow *core.FlowFragment
-	red  *reduce.Fragment
-	pre  *prefix.Fragment
+	flow  *core.FlowFragment
+	bcast *scatter.BroadcastFragment
+	red   *reduce.Fragment
+	pre   *prefix.Fragment
 }
 
 // memberLabel prefixes variable and constraint names of member i.
@@ -336,6 +377,8 @@ func (pr *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 				return nil, fmt.Errorf("composite: member %d: %w", i, err)
 			}
 			frags[i].flow = f
+		case mem.Broadcast != nil:
+			frags[i].bcast = mem.Broadcast.NewFragment(m, label, occ)
 		case mem.Gossip != nil:
 			f, err := core.NewFlowFragment(m, label, pr.Platform, mem.Gossip.Commodities(), occ)
 			if err != nil {
@@ -364,6 +407,8 @@ func (pr *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 		switch {
 		case frags[i].flow != nil:
 			frags[i].flow.AddFlowConstraints(m, label, tp, mem.Weight)
+		case frags[i].bcast != nil:
+			frags[i].bcast.AddFlowConstraints(m, label, tp, mem.Weight)
 		case frags[i].red != nil:
 			frags[i].red.AddFlowConstraints(m, label, tp, mem.Weight)
 		case frags[i].pre != nil:
@@ -394,6 +439,8 @@ func (pr *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 				Flow:    frags[i].flow.Extract(sol, memTP),
 				Stats:   out.Stats,
 			}
+		case mem.Broadcast != nil:
+			ms.Broadcast = frags[i].bcast.Extract(sol, memTP, out.Stats)
 		case mem.Gossip != nil:
 			ms.Gossip = &gossip.Solution{
 				Problem: mem.Gossip,

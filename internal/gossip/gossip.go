@@ -67,6 +67,16 @@ func NewProblem(p *graph.Platform, sources, targets []graph.NodeID) (*Problem, e
 	}, nil
 }
 
+// NewAllgatherProblem returns the gossip instance modeling an allgather
+// over order: every participant redistributes its own segment to every
+// other rank (sources == targets == order, self-addressed pairs excluded).
+// It is the second phase of the allreduce decomposition — after a
+// reduce-scatter leaves rank i holding reduced segment i, this gossip
+// delivers every segment to every rank.
+func NewAllgatherProblem(p *graph.Platform, order []graph.NodeID) (*Problem, error) {
+	return NewProblem(p, order, order)
+}
+
 // Commodities returns the message types m_{k,l} of the instance: one per
 // (source, target) pair with distinct endpoints, in deterministic order.
 func (pr *Problem) Commodities() []core.Commodity {

@@ -192,3 +192,39 @@ func TestGossipOnTiers(t *testing.T) {
 		t.Errorf("Verify: %v", err)
 	}
 }
+
+// TestAllgatherIsGossip: the allgather convenience (every participant
+// redistributes its segment to every other rank) is exactly the gossip
+// with sources == targets == order, commodity for commodity.
+func TestAllgatherIsGossip(t *testing.T) {
+	p, ids := triangle(t)
+	ag, err := NewAllgatherProblem(p, ids)
+	if err != nil {
+		t.Fatalf("NewAllgatherProblem: %v", err)
+	}
+	plain, err := NewProblem(p, ids, ids)
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	if got, want := ag.Commodities(), plain.Commodities(); len(got) != len(want) {
+		t.Fatalf("allgather has %d commodities, gossip %d", len(got), len(want))
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("commodity %d: %v vs %v", i, got[i], want[i])
+			}
+		}
+	}
+	agSol, err := ag.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	plainSol, err := plain.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if agSol.Throughput().Cmp(plainSol.Throughput()) != 0 {
+		t.Errorf("allgather TP = %s, gossip TP = %s",
+			agSol.Throughput().RatString(), plainSol.Throughput().RatString())
+	}
+}

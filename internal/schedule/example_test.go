@@ -1,0 +1,33 @@
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rat"
+)
+
+// ExampleFromFlow turns a solved steady-state flow — here two messages
+// per time unit on a half-cost link — into its periodic one-port
+// schedule.
+func ExampleFromFlow() {
+	p := graph.New()
+	a := p.AddNode("a", rat.One())
+	b := p.AddNode("b", rat.One())
+	p.AddEdge(a, b, rat.New(1, 2))
+
+	flow := core.NewFlow[core.Commodity](p)
+	flow.Throughput = rat.New(2, 1)
+	flow.SetSend(a, b, core.Commodity{Src: a, Dst: b}, rat.New(2, 1))
+
+	sched, err := FromFlow(flow,
+		func(core.Commodity) rat.Rat { return rat.One() },
+		func(core.Commodity) string { return "m_b" })
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("period %s, %d slot(s), busy %s\n",
+		sched.Period.RatString(), len(sched.Slots), sched.BusyTime().RatString())
+	// Output: period 1, 1 slot(s), busy 1
+}

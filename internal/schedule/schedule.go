@@ -13,6 +13,12 @@
 // Transfers may be split across non-adjacent slots (the paper's Figure
 // 4(a)); Unsplit rescales the period so that every slot moves a whole
 // number of messages (Figure 4(b)).
+//
+// Two constructions are exposed: FromFlow serializes one solved
+// scatter/gossip flow, and MergeFlows superposes the transfer demands of
+// several concurrent collectives (composite, reduce-scatter, allreduce
+// members, broadcast carry streams) over a common period — typically the
+// LCM of the member periods — into a single one-port-safe slot sequence.
 package schedule
 
 import (

@@ -14,8 +14,11 @@
 // The engine is generic: a Model has typed buffers per node, per-period
 // transfer quotas, per-period production rules (reduction tasks), infinite
 // sources (initial values), and sinks that count deliveries. Adapters in
-// this package build models from scatter solutions and reduce
-// applications.
+// this package build models from scatter solutions, gossip solutions and
+// reduce applications; composite-style solutions (reduce-scatter,
+// allreduce, broadcast, arbitrary composites) have no adapter yet and
+// surface ErrUnsupported through the public API — extending the engine
+// to drive a merged schedule's buffered protocol is a ROADMAP item.
 package sim
 
 import (

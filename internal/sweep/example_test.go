@@ -1,0 +1,30 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+
+	steadystate "repro"
+)
+
+// ExampleRun sweeps one in-memory scenario: jobs need not come from
+// files — anything carrying a Scenario (platform + spec) can join a
+// batch.
+func ExampleRun() {
+	p := steadystate.NewPlatform()
+	a := p.AddNode("a", steadystate.R(1, 1))
+	b := p.AddNode("b", steadystate.R(1, 1))
+	p.AddLink(a, b, steadystate.R(1, 1))
+
+	jobs := []Job{{
+		Name:     "pair-scatter",
+		Scenario: &steadystate.Scenario{Platform: p, Spec: steadystate.ScatterSpec(a, b)},
+	}}
+	report, err := Run(context.Background(), jobs, Options{Jobs: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d solved, %s TP = %s\n",
+		report.Solved, report.Results[0].Kind, report.Results[0].Throughput)
+	// Output: 1 solved, scatter TP = 1
+}

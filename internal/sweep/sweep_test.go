@@ -15,17 +15,17 @@ import (
 
 const fixtureDir = "../../testdata/sweep"
 
-// loadFixtureJobs loads the shared sweep fixtures: fig6 (reduce and
-// reduce-scatter), fig9 (reduce), tiers-42 (scatter and prefix) and one
-// deliberately malformed file.
+// loadFixtureJobs loads the shared sweep fixtures: fig6 (reduce,
+// reduce-scatter and allreduce), fig9 (reduce), tiers-42 (scatter,
+// prefix and broadcast) and one deliberately malformed file.
 func loadFixtureJobs(t *testing.T) []Job {
 	t.Helper()
 	jobs, err := LoadDir(fixtureDir, "*.json")
 	if err != nil {
 		t.Fatalf("LoadDir: %v", err)
 	}
-	if len(jobs) < 5 {
-		t.Fatalf("fixture dir has %d jobs, want at least 5", len(jobs))
+	if len(jobs) < 7 {
+		t.Fatalf("fixture dir has %d jobs, want at least 7", len(jobs))
 	}
 	return jobs
 }

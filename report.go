@@ -113,8 +113,11 @@ type Report struct {
 	FixedPeriod     string `json:"fixed_period,omitempty"`
 	FixedThroughput string `json:"fixed_throughput,omitempty"`
 	FixedLoss       string `json:"fixed_loss,omitempty"`
-	// Members summarizes each member of a composite or reduce-scatter
-	// solve: one report per member collective, solved jointly.
+	// Members summarizes each member of a composite-style solve
+	// (composite, reducescatter, allreduce): one report per member
+	// collective, solved jointly — an allreduce reports its N reduce
+	// members (the reduce-scatter phase) followed by the allgather
+	// gossip member.
 	Members []*Report `json:"members,omitempty"`
 	// Weight is the member's weight within its composite (member reports
 	// only), as an exact rational string.

@@ -15,6 +15,10 @@
 //
 //   - Scatter (Section 3): one source, one distinct message per target per
 //     operation. SolveScatter returns the optimal typed multi-route flow.
+//   - Broadcast (companion work): one source, the same message to every
+//     target per operation — the scatter LP with one commodity replicated
+//     to all targets, charged to the one-port model through shared
+//     per-edge carry rates.
 //   - Gossip / personalized all-to-all (Section 3.5): every source sends a
 //     distinct message to every target per operation.
 //   - Reduce (Section 4): participants P_0…P_N hold values v_i, and
@@ -26,6 +30,9 @@
 //   - Reduce-scatter: each rank i of the order keeps segment i reduced
 //     over all ranks — the composite of N concurrent reduces sharing the
 //     platform's port and compute capacity.
+//   - Allreduce: every rank receives the full reduction — the composite
+//     of a reduce-scatter phase and an allgather (gossip) phase at a
+//     common rate.
 //   - Composite: any weighted superposition of the base collectives,
 //     solved as one LP with shared capacity rows and a common (weighted)
 //     throughput.
@@ -156,6 +163,19 @@ func SolveScatter(p *Platform, source NodeID, targets []NodeID) (*ScatterSolutio
 	}
 	return sol.Unwrap().(*ScatterSolution), nil
 }
+
+// ---------------------------------------------------------------------------
+// Broadcast (companion work)
+
+// BroadcastProblem is a Series of Broadcasts instance: one source, every
+// target receives a copy of every message. Build one through Solve with
+// BroadcastSpec(source, targets...).
+type BroadcastProblem = scatter.BroadcastProblem
+
+// BroadcastSolution is a solved Series of Broadcasts: the optimal
+// throughput, the per-target virtual flows, and the shared per-edge carry
+// rates the one-port model is charged for.
+type BroadcastSolution = scatter.BroadcastSolution
 
 // ---------------------------------------------------------------------------
 // Gossip (Section 3.5)
@@ -308,6 +328,14 @@ func GossipSchedule(sol *GossipSolution) (*Schedule, error) {
 	})
 }
 
+// BroadcastSchedule serializes a broadcast solution's period: the carry
+// stream — the messages physically moved, one shared copy per edge — is
+// decomposed into one-port-safe matching slots.
+func BroadcastSchedule(sol *BroadcastSolution) (*Schedule, error) {
+	return schedule.MergeFlows(sol.Problem.Platform, sol.Period(),
+		[]schedule.MemberFlow{composite.BroadcastMemberFlow(sol, "")})
+}
+
 // ReduceSchedule serializes a reduce tree family's period; pass a nil
 // period to use the application's exact period, or a fixed-period plan's
 // trees with its period.
@@ -387,10 +415,16 @@ func DefaultTiersConfig(seed int64) TiersConfig { return topology.DefaultTiersCo
 // Tiers generates a Tiers-like WAN/MAN/LAN platform.
 func Tiers(cfg TiersConfig) *Platform { return topology.Tiers(cfg) }
 
-// Star, Chain, Ring and Grid2D build regular platforms.
-func Star(n int, cost, speed Rat) *Platform  { return topology.Star(n, cost, speed) }
+// Star builds a hub-and-spoke platform: node 0 linked to n peers.
+func Star(n int, cost, speed Rat) *Platform { return topology.Star(n, cost, speed) }
+
+// Chain builds a line of n nodes with symmetric links.
 func Chain(n int, cost, speed Rat) *Platform { return topology.Chain(n, cost, speed) }
-func Ring(n int, cost, speed Rat) *Platform  { return topology.Ring(n, cost, speed) }
+
+// Ring builds a cycle of n nodes with symmetric links.
+func Ring(n int, cost, speed Rat) *Platform { return topology.Ring(n, cost, speed) }
+
+// Grid2D builds an r×c mesh with symmetric links.
 func Grid2D(r, c int, cost, speed Rat) *Platform {
 	return topology.Grid2D(r, c, cost, speed)
 }
