@@ -252,6 +252,21 @@ func (s *Spec) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// CanonicalKey returns the spec's canonical serialized form: its compact
+// JSON, which emits only the fields the kind uses, in a fixed order. Two
+// specs with the same canonical key describe the same collective on any
+// platform with the same content hash, so (Platform.ContentHash,
+// Spec.CanonicalKey) identifies a solve — the report-cache key of the
+// serving layer. Specs of unknown kind have no canonical form and return
+// an error.
+func (s Spec) CanonicalKey() (string, error) {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
 // validate checks that every node the spec references exists on the
 // platform and that the kind-specific role constraints hold. Deeper
 // semantic validation (reachability, duplicates, routers) is delegated to

@@ -11,6 +11,10 @@
 //	paperbench -run fig9            # run one experiment (fig2|fig3|fig4|fig6|fig7|fig9|prop1|prop3|prop4|gossip|prefix|rscatter|bcast|allreduce|baseline|scaling|session)
 //	paperbench -timeout 30s         # bound every solve with a deadline
 //	paperbench -scenario work.json  # solve one scenario file, print its report JSON
+//
+// Scenario files are the interchange format of the whole pipeline:
+// cmd/topogen writes them, cmd/sweep batches them, cmd/solverd serves
+// them over HTTP.
 package main
 
 import (

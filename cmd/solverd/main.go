@@ -1,0 +1,136 @@
+// Command solverd serves the steady-state solver as a long-running HTTP
+// daemon: scenarios (the same platform+spec JSON files cmd/topogen writes
+// and cmd/sweep consumes) are posted over HTTP and answered with solved
+// Reports, amortizing solver sessions and caching hot scenarios across
+// requests — the serving counterpart of the batch pipeline
+// topogen → sweep → report.
+//
+// Usage:
+//
+//	solverd                                  # listen on :8080 with defaults
+//	solverd -addr 127.0.0.1:9090 -workers 8  # bind elsewhere, size the pool
+//	solverd -queue 128 -cache 4096           # deeper queue, bigger report cache
+//	solverd -timeout 1m -max-timeout 5m      # default and maximum per-request deadline
+//
+// Endpoints:
+//
+//	POST /solve   one Scenario JSON body in, the solved Report out.
+//	              ?timeout=30s bounds the solve; a report-cache hit skips
+//	              the LP entirely (X-Cache: hit). Errors are structured
+//	              JSON: 400 malformed, 413 oversized, 503 queue full,
+//	              504 deadline exceeded.
+//	POST /sweep   JSONL in (one Scenario per line, or {"name":…,
+//	              "scenario":{…}}), JSONL out — one sweep record per line
+//	              in completion order, the same record format cmd/sweep
+//	              streams with -jsonl.
+//	GET  /healthz readiness: 200 while serving, 503 once draining.
+//	GET  /metrics telemetry snapshot as JSON (counters, queue depth,
+//	              queue-wait and solve-time histograms); Prometheus text
+//	              with ?format=prometheus.
+//
+// A seeded batch served through /solve produces Reports byte-identical
+// (modulo the solve_ms measurement) to cmd/sweep over the same files —
+// the CI solverd-smoke job pins exactly that.
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: /healthz flips to
+// 503, new scenarios are refused, in-flight solves finish and flush their
+// responses (bounded by -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "solverd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the daemon until ctx is canceled (the signal path) or the
+// listener fails; factored out of main for testability. The bound address
+// is printed to stderr once listening — tests bind :0 and parse it.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("solverd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		workers    = fs.Int("workers", 0, "solver pool size (0: GOMAXPROCS)")
+		queue      = fs.Int("queue", serve.DefaultQueueDepth, "admission queue depth (full queue answers 503)")
+		cache      = fs.Int("cache", serve.DefaultCacheSize, "report-cache entries (negative: disable)")
+		sessions   = fs.Int("sessions", serve.DefaultSessionCacheSize, "solver session pool entries (one per distinct platform)")
+		timeout    = fs.Duration("timeout", serve.DefaultSolveTimeoutValue, "default per-request deadline (negative: none)")
+		maxTimeout = fs.Duration("max-timeout", serve.DefaultMaxSolveTimeout, "cap on request-supplied ?timeout=")
+		maxBody    = fs.Int64("max-body", serve.DefaultMaxBodyBytes, "max request body (and /sweep line) bytes")
+		drain      = fs.Duration("drain", 30*time.Second, "graceful shutdown budget for in-flight solves")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		CacheSize:           *cache,
+		SessionCacheSize:    *sessions,
+		DefaultSolveTimeout: *timeout,
+		MaxSolveTimeout:     *maxTimeout,
+		MaxBodyBytes:        *maxBody,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "solverd: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting (healthz flips to 503, new scenarios
+	// get structured 503s), let in-flight handlers flush their solves,
+	// then stop the workers.
+	fmt.Fprintf(stderr, "solverd: draining (up to %v for in-flight solves)\n", *drain)
+	srv.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		// The budget ran out with handlers still busy: cut them off.
+		hs.Close()
+		srv.Close()
+		return fmt.Errorf("drain exceeded %v: %w", *drain, err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		srv.Close()
+		return err
+	}
+	srv.Close()
+	fmt.Fprintf(stderr, "solverd: drained cleanly\n")
+	return nil
+}

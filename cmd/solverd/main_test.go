@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	steadystate "repro"
+)
+
+// syncBuffer is a mutex-guarded bytes.Buffer: run writes to stderr from
+// its own goroutine while the test reads it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-addr"},                              // missing value
+		{"-workers", "notanumber"},             // bad int
+		{"-timeout", "tomorrow"},               // bad duration
+		{"extra", "positional"},                // positional args
+		{"-addr", "definitely:not:an:address"}, // listen fails
+	}
+	for _, args := range cases {
+		var errBuf syncBuffer
+		if err := run(context.Background(), args, io.Discard, &errBuf); err == nil {
+			t.Errorf("run(%q) succeeded, want error", args)
+		}
+	}
+}
+
+// TestDaemonLifecycle boots the daemon on an ephemeral port, serves a
+// scenario (twice — the repeat must be a cache hit), then cancels the run
+// context and verifies the graceful drain completes.
+func TestDaemonLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var errBuf syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2", "-drain", "10s"}, io.Discard, &errBuf)
+	}()
+
+	// The daemon prints its bound address once listening.
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stderr:\n%s", errBuf.String())
+		}
+		for _, line := range strings.Split(errBuf.String(), "\n") {
+			if addr, ok := strings.CutPrefix(line, "solverd: listening on "); ok {
+				base = "http://" + strings.TrimSpace(addr)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// Solve the paper's Figure 2 scatter scenario through the daemon.
+	p, src, targets := steadystate.PaperFig2()
+	body, err := json.Marshal(&steadystate.Scenario{
+		Platform: p, Spec: steadystate.ScatterSpec(src, targets...),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func() (*http.Response, *steadystate.Report) {
+		resp, err := http.Post(base+"/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("solve: %d %q", resp.StatusCode, data)
+		}
+		rep := &steadystate.Report{}
+		if err := json.Unmarshal(data, rep); err != nil {
+			t.Fatalf("parse report %q: %v", data, err)
+		}
+		return resp, rep
+	}
+	r1, rep := post()
+	if r1.Header.Get("X-Cache") != "miss" || rep.Throughput != "1/2" {
+		t.Fatalf("cold solve: X-Cache %q throughput %q (want miss, 1/2)", r1.Header.Get("X-Cache"), rep.Throughput)
+	}
+	r2, rep2 := post()
+	if r2.Header.Get("X-Cache") != "hit" || rep2.Throughput != "1/2" {
+		t.Fatalf("hot solve: X-Cache %q throughput %q (want hit, 1/2)", r2.Header.Get("X-Cache"), rep2.Throughput)
+	}
+
+	// SIGTERM path: cancel the run context and wait for the clean drain.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after drain; stderr:\n%s", err, errBuf.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not drain; stderr:\n%s", errBuf.String())
+	}
+	if out := errBuf.String(); !strings.Contains(out, "solverd: drained cleanly") {
+		t.Fatalf("missing clean-drain message; stderr:\n%s", out)
+	}
+}

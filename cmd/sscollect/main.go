@@ -16,7 +16,8 @@
 //	sscollect -platform scenario.json -report report.json
 //
 // A scenario file (cmd/topogen -spec) carries both the platform and the
-// collective spec, so -op and the role flags become optional overrides.
+// collective spec, so -op and the role flags become optional overrides;
+// the same files drive cmd/sweep in batches and cmd/solverd over HTTP.
 // Omit -platform to use the paper's figure platforms: -platform
 // fig2|fig6|fig9.
 package main

@@ -25,6 +25,10 @@
 // -shard i/n runs union to the full result set. The JSONL stream (-jsonl)
 // is the live view — one line per completed scenario, in completion
 // order, each carrying the full solution report or the error.
+//
+// For a long-running serving counterpart of this batch engine — the same
+// scenario files posted over HTTP with session reuse and a report cache —
+// see cmd/solverd; its /sweep endpoint streams this same record format.
 package main
 
 import (

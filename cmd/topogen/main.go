@@ -16,7 +16,8 @@
 // With -spec the output is a scenario file — the platform plus the spec
 // of a collective to solve on it (-op
 // scatter|broadcast|gossip|reduce|gather|prefix|reducescatter|allreduce)
-// — which cmd/sscollect, cmd/paperbench and cmd/sweep consume directly.
+// — which cmd/sscollect, cmd/paperbench and cmd/sweep consume directly
+// and cmd/solverd accepts over HTTP.
 // -ranks N caps the number of participants the spec involves, which keeps
 // LP sizes bounded for the expensive composite kinds (an allreduce over
 // all ranks of a Tiers platform is an order of magnitude larger than one

@@ -1,0 +1,110 @@
+// cache.go is the serving layer's LRU: a deterministic fixed-capacity
+// recency cache shared by the report cache ((platform-hash, spec-key) →
+// *steadystate.Report) and the session pool (platform-hash → *Solver).
+// Determinism matters for testability: eviction order is a pure function
+// of the Get/Put sequence, never of timing.
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a fixed-capacity least-recently-used cache. Get marks
+// recency; Put inserts or refreshes and evicts the least recently used
+// entry once the capacity is exceeded. All methods are safe for
+// concurrent use.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+// lruEntry is one cached key/value pair.
+type lruEntry struct {
+	key string
+	val any
+}
+
+// newLRU returns an empty cache holding at most capacity entries;
+// capacity ≤ 0 yields a cache that stores nothing (every Get misses).
+func newLRU(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *lruCache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts the value (or refreshes an existing key), evicting the
+// least recently used entry when the cache is over capacity.
+func (c *lruCache) Put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(key, val)
+}
+
+// GetOrPut returns the cached value for key, or — atomically with the
+// lookup — stores and returns make()'s result. The session pool uses it
+// so concurrent requests for one platform share a single Solver.
+func (c *lruCache) GetOrPut(key string, make func() any) any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry).val
+	}
+	val := make()
+	c.put(key, val)
+	return val
+}
+
+// put is the lock-held insertion core of Put and GetOrPut.
+func (c *lruCache) put(key string, val any) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Keys returns the cached keys from most to least recently used — the
+// eviction order reversed. Test and introspection helper.
+func (c *lruCache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*lruEntry).key)
+	}
+	return keys
+}

@@ -1,0 +1,300 @@
+// http.go is the HTTP surface of the serving layer: POST /solve (one
+// Scenario in, one Report out), POST /sweep (JSONL scenarios in, JSONL
+// sweep records out, streamed), GET /healthz (readiness, drain-aware) and
+// GET /metrics (JSON snapshot or Prometheus text). Every failure is a
+// structured JSON error object with a stable code and the matching HTTP
+// status — 400 malformed, 413 oversized, 503 backpressure/draining, 504
+// deadline.
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	steadystate "repro"
+	"repro/internal/sweep"
+)
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/sweep", s.handleSweep)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON writes v as a compact JSON body with a trailing newline.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Unreachable for the fixed response types; keep the connection
+		// coherent anyway.
+		fmt.Fprintf(w, `{"error":{"code":"internal","message":%q}}`+"\n", err.Error())
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+// errorBody is the wire form of a ServiceError.
+type errorBody struct {
+	Error *ServiceError `json:"error"`
+}
+
+// writeError maps an error to its structured JSON body and status.
+// Non-ServiceError errors are reported as 500 internal.
+func writeError(w http.ResponseWriter, err error) {
+	var se *ServiceError
+	if !errors.As(err, &se) {
+		se = &ServiceError{Status: 500, Code: "internal", Message: err.Error()}
+	}
+	if se.Status == 503 {
+		// Backpressure responses tell clients when to come back.
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, se.Status, errorBody{Error: se})
+}
+
+// requireMethod answers 405 (with Allow) unless the request uses the
+// given method.
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: &ServiceError{
+		Code:    "method_not_allowed",
+		Message: fmt.Sprintf("%s requires %s", r.URL.Path, method),
+	}})
+	return false
+}
+
+// requestTimeout resolves the per-request deadline: the ?timeout= query
+// parameter (a Go duration, capped at MaxSolveTimeout) or the configured
+// default. A zero return means no deadline.
+func (s *Server) requestTimeout(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("timeout")
+	if raw == "" {
+		if s.cfg.DefaultSolveTimeout > 0 {
+			return s.cfg.DefaultSolveTimeout, nil
+		}
+		return 0, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("bad timeout %q (want a positive Go duration, e.g. 30s)", raw)
+	}
+	if d > s.cfg.MaxSolveTimeout {
+		d = s.cfg.MaxSolveTimeout
+	}
+	return d, nil
+}
+
+// readBody reads the request body under the MaxBodyBytes limit,
+// translating overflow into the structured 413.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.metrics.badRequest()
+			return nil, errBodyTooLarge(s.cfg.MaxBodyBytes)
+		}
+		s.metrics.badRequest()
+		return nil, errBadScenario(fmt.Errorf("read body: %w", err))
+	}
+	return data, nil
+}
+
+// handleSolve answers POST /solve: a Scenario JSON body in, the solved
+// Report out. Cache hits are marked with the X-Cache header and skip the
+// queue entirely.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	data, err := s.readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	sc := &steadystate.Scenario{}
+	if err := json.Unmarshal(data, sc); err != nil {
+		s.metrics.badRequest()
+		writeError(w, errBadScenario(fmt.Errorf("parse scenario: %w", err)))
+		return
+	}
+	timeout, err := s.requestTimeout(r)
+	if err != nil {
+		s.metrics.badRequest()
+		writeError(w, errBadScenario(err))
+		return
+	}
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	rep, cached, err := s.Solve(ctx, sc, false)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// sweepLine is the optional wrapper form of one /sweep input line:
+// {"name":…, "scenario":{…}}. A bare Scenario object is also accepted
+// (its name defaults to the line number).
+type sweepLine struct {
+	Name     string          `json:"name"`
+	Scenario json.RawMessage `json:"scenario"`
+}
+
+// handleSweep answers POST /sweep: a JSONL stream of scenarios in, a
+// JSONL stream of sweep Records out (the same record format cmd/sweep
+// streams), one line per scenario in completion order. Admission blocks
+// when the queue is full, so reading the request body itself applies
+// backpressure to the producer. Malformed lines become error records;
+// they never abort the stream.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	timeout, err := s.requestTimeout(r)
+	if err != nil {
+		s.metrics.badRequest()
+		writeError(w, errBadScenario(err))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	var mu sync.Mutex // serializes record writes
+	emit := func(rec sweep.Record) {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return
+		}
+		mu.Lock()
+		w.Write(append(line, '\n'))
+		if flusher != nil {
+			flusher.Flush()
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	// The window bounds lines in flight beyond the queue itself, so a
+	// huge batch cannot hold one goroutine per line.
+	window := make(chan struct{}, s.cfg.QueueDepth)
+	scanner := bufio.NewScanner(r.Body)
+	scanner.Buffer(nil, int(s.cfg.MaxBodyBytes))
+	lineNo := 0
+	for scanner.Scan() {
+		raw := scanner.Bytes()
+		if len(bytes.TrimSpace(raw)) == 0 {
+			continue
+		}
+		lineNo++
+		name := fmt.Sprintf("line-%04d", lineNo)
+
+		var wrapped sweepLine
+		payload := append([]byte(nil), raw...)
+		if err := json.Unmarshal(payload, &wrapped); err == nil && len(wrapped.Scenario) > 0 {
+			if wrapped.Name != "" {
+				name = wrapped.Name
+			}
+			payload = wrapped.Scenario
+		}
+		sc := &steadystate.Scenario{}
+		if err := json.Unmarshal(payload, sc); err != nil {
+			s.metrics.badRequest()
+			emit(sweep.Record{Name: name, Error: fmt.Sprintf("parse %s: %v", name, err)})
+			continue
+		}
+
+		window <- struct{}{}
+		wg.Add(1)
+		go func(name string, sc *steadystate.Scenario) {
+			defer wg.Done()
+			defer func() { <-window }()
+			ctx := r.Context()
+			if timeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, timeout)
+				defer cancel()
+			}
+			rep, _, err := s.Solve(ctx, sc, true)
+			if err != nil {
+				emit(sweep.Record{Name: name, Error: err.Error()})
+				return
+			}
+			emit(sweep.Record{Name: name, SolveMS: rep.SolveMS, LPNonZeros: rep.LPNonZeros, Report: rep})
+		}(name, sc)
+	}
+	wg.Wait()
+	if err := scanner.Err(); err != nil {
+		s.metrics.badRequest()
+		emit(sweep.Record{Name: fmt.Sprintf("line-%04d", lineNo+1),
+			Error: fmt.Sprintf("read stream: %v", err)})
+	}
+}
+
+// healthBody is the /healthz response.
+type healthBody struct {
+	Status string `json:"status"`
+}
+
+// handleHealthz answers GET /healthz: 200 {"status":"ok"} while serving,
+// 503 {"status":"draining"} once Drain has been called — the readiness
+// flip that tells load balancers to stop routing here during shutdown.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	if s.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, healthBody{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthBody{Status: "ok"})
+}
+
+// handleMetrics answers GET /metrics: the MetricsSnapshot as indented
+// JSON (the CI artifact format), or Prometheus text exposition with
+// ?format=prometheus.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	snap := s.metrics.Snapshot()
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		snap.WritePrometheus(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Write(append(data, '\n'))
+}

@@ -1,0 +1,209 @@
+// metrics.go is the telemetry of the serving layer: monotonic counters
+// (solves, cache hits/misses, rejections, deadline misses, bad requests),
+// live gauges (queue depth, in-flight requests), and fixed-bucket
+// millisecond histograms for queue wait and solve time. Snapshots
+// serialize to JSON (the CI artifact format) and render in
+// Prometheus-style text exposition for scrapers.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// histogramBucketsMS are the upper bounds, in milliseconds, of the
+// latency histograms; observations above the last bound land in the
+// implicit +Inf bucket.
+var histogramBucketsMS = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
+
+// histogram accumulates millisecond observations into the fixed buckets.
+// It is guarded by the owning Metrics' mutex.
+type histogram struct {
+	count   uint64
+	sumMS   float64
+	buckets []uint64 // per-bucket (non-cumulative); len = len(histogramBucketsMS)+1, last is +Inf
+}
+
+func newHistogram() *histogram {
+	return &histogram{buckets: make([]uint64, len(histogramBucketsMS)+1)}
+}
+
+// observe records one duration.
+func (h *histogram) observe(ms float64) {
+	h.count++
+	h.sumMS += ms
+	for i, le := range histogramBucketsMS {
+		if ms <= le {
+			h.buckets[i]++
+			return
+		}
+	}
+	h.buckets[len(h.buckets)-1]++
+}
+
+// snapshot renders the histogram with cumulative bucket counts, the
+// Prometheus convention.
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count, SumMS: h.sumMS}
+	var cum uint64
+	for i, le := range histogramBucketsMS {
+		cum += h.buckets[i]
+		s.Buckets = append(s.Buckets, BucketCount{LE: strconv.FormatFloat(le, 'g', -1, 64), Count: cum})
+	}
+	cum += h.buckets[len(h.buckets)-1]
+	s.Buckets = append(s.Buckets, BucketCount{LE: "+Inf", Count: cum})
+	return s
+}
+
+// BucketCount is one cumulative histogram bucket: the count of
+// observations ≤ the upper bound LE (rendered as a string so the +Inf
+// bucket survives JSON).
+type BucketCount struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is the serialized view of a latency histogram:
+// observation count, sum, and cumulative bucket counts.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	SumMS   float64       `json:"sum_ms"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// MetricsSnapshot is the point-in-time state of a server's telemetry —
+// the JSON body of the /metrics endpoint and the format of the CI
+// BENCH_solverd artifacts.
+type MetricsSnapshot struct {
+	// Solves counts completed LP solves (cache misses that ran to a
+	// report). CacheHits + Solves is the number of successful /solve
+	// responses; CacheMisses counts admissions, so CacheMisses − Solves
+	// is the number of misses still in flight or failed.
+	Solves      uint64 `json:"solves"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// QueueRejections counts admissions refused because the queue was
+	// full (503s); DeadlineExceeded counts requests that hit their
+	// per-request deadline while queued or solving (504s); BadRequests
+	// counts malformed or oversized payloads (400s and 413s);
+	// SolveFailures counts admitted scenarios whose solve returned an
+	// error other than a deadline.
+	QueueRejections  uint64 `json:"queue_rejections"`
+	DeadlineExceeded uint64 `json:"deadline_exceeded"`
+	BadRequests      uint64 `json:"bad_requests"`
+	SolveFailures    uint64 `json:"solve_failures"`
+	// QueueDepth and Inflight are live gauges: scenarios waiting in the
+	// admission queue, and requests admitted but not yet answered.
+	QueueDepth int `json:"queue_depth"`
+	Inflight   int `json:"inflight"`
+	// QueueWaitMS observes time from admission to a worker picking the
+	// scenario up; SolveMS observes the LP solve wall clock (cache hits
+	// observe neither).
+	QueueWaitMS HistogramSnapshot `json:"queue_wait_ms"`
+	SolveMS     HistogramSnapshot `json:"solve_ms"`
+}
+
+// Metrics is the mutable telemetry of one Server. All methods are safe
+// for concurrent use.
+type Metrics struct {
+	mu               sync.Mutex
+	solves           uint64
+	cacheHits        uint64
+	cacheMisses      uint64
+	queueRejections  uint64
+	deadlineExceeded uint64
+	badRequests      uint64
+	solveFailures    uint64
+	inflight         int
+	queueWait        *histogram
+	solveMS          *histogram
+	queueDepth       func() int // live view of the admission queue
+}
+
+func newMetrics(queueDepth func() int) *Metrics {
+	return &Metrics{
+		queueWait:  newHistogram(),
+		solveMS:    newHistogram(),
+		queueDepth: queueDepth,
+	}
+}
+
+func (m *Metrics) hit()         { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
+func (m *Metrics) miss()        { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
+func (m *Metrics) reject()      { m.mu.Lock(); m.queueRejections++; m.mu.Unlock() }
+func (m *Metrics) deadline()    { m.mu.Lock(); m.deadlineExceeded++; m.mu.Unlock() }
+func (m *Metrics) badRequest()  { m.mu.Lock(); m.badRequests++; m.mu.Unlock() }
+func (m *Metrics) solveFailed() { m.mu.Lock(); m.solveFailures++; m.mu.Unlock() }
+
+func (m *Metrics) enter() { m.mu.Lock(); m.inflight++; m.mu.Unlock() }
+func (m *Metrics) leave() { m.mu.Lock(); m.inflight--; m.mu.Unlock() }
+
+// observeQueueWait records the admission-to-worker latency of one solve.
+func (m *Metrics) observeQueueWait(ms float64) {
+	m.mu.Lock()
+	m.queueWait.observe(ms)
+	m.mu.Unlock()
+}
+
+// observeSolve records one completed LP solve and its wall-clock cost.
+func (m *Metrics) observeSolve(ms float64) {
+	m.mu.Lock()
+	m.solves++
+	m.solveMS.observe(ms)
+	m.mu.Unlock()
+}
+
+// Snapshot returns a consistent copy of all counters, gauges and
+// histograms.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := MetricsSnapshot{
+		Solves:           m.solves,
+		CacheHits:        m.cacheHits,
+		CacheMisses:      m.cacheMisses,
+		QueueRejections:  m.queueRejections,
+		DeadlineExceeded: m.deadlineExceeded,
+		BadRequests:      m.badRequests,
+		SolveFailures:    m.solveFailures,
+		Inflight:         m.inflight,
+		QueueWaitMS:      m.queueWait.snapshot(),
+		SolveMS:          m.solveMS.snapshot(),
+	}
+	if m.queueDepth != nil {
+		s.QueueDepth = m.queueDepth()
+	}
+	return s
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format under the solverd_* namespace.
+func (s MetricsSnapshot) WritePrometheus(w io.Writer) error {
+	counter := func(name string, v uint64, help string) {
+		fmt.Fprintf(w, "# HELP solverd_%s %s\n# TYPE solverd_%s counter\nsolverd_%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name string, v int, help string) {
+		fmt.Fprintf(w, "# HELP solverd_%s %s\n# TYPE solverd_%s gauge\nsolverd_%s %d\n", name, help, name, name, v)
+	}
+	histo := func(name string, h HistogramSnapshot, help string) {
+		fmt.Fprintf(w, "# HELP solverd_%s %s\n# TYPE solverd_%s histogram\n", name, help, name)
+		for _, b := range h.Buckets {
+			fmt.Fprintf(w, "solverd_%s_bucket{le=%q} %d\n", name, b.LE, b.Count)
+		}
+		fmt.Fprintf(w, "solverd_%s_sum %g\nsolverd_%s_count %d\n", name, h.SumMS, name, h.Count)
+	}
+	counter("solves_total", s.Solves, "completed LP solves")
+	counter("cache_hits_total", s.CacheHits, "report-cache hits")
+	counter("cache_misses_total", s.CacheMisses, "report-cache misses admitted to the queue")
+	counter("queue_rejections_total", s.QueueRejections, "admissions refused with a full queue")
+	counter("deadline_exceeded_total", s.DeadlineExceeded, "requests past their deadline while queued or solving")
+	counter("bad_requests_total", s.BadRequests, "malformed or oversized payloads")
+	counter("solve_failures_total", s.SolveFailures, "admitted scenarios whose solve errored")
+	gauge("queue_depth", s.QueueDepth, "scenarios waiting in the admission queue")
+	gauge("inflight", s.Inflight, "requests admitted but not yet answered")
+	histo("queue_wait_ms", s.QueueWaitMS, "admission-to-worker latency in milliseconds")
+	histo("solve_ms", s.SolveMS, "LP solve wall clock in milliseconds")
+	return nil
+}

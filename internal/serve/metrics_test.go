@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMetricsCountersAndHistograms(t *testing.T) {
+	m := newMetrics(func() int { return 3 })
+	m.hit()
+	m.hit()
+	m.miss()
+	m.reject()
+	m.deadline()
+	m.badRequest()
+	m.solveFailed()
+	m.enter()
+	m.observeQueueWait(0.5)
+	m.observeQueueWait(12)
+	m.observeSolve(40)
+
+	s := m.Snapshot()
+	if s.CacheHits != 2 || s.CacheMisses != 1 {
+		t.Fatalf("cache counters: hits %d misses %d", s.CacheHits, s.CacheMisses)
+	}
+	if s.Solves != 1 || s.QueueRejections != 1 || s.DeadlineExceeded != 1 ||
+		s.BadRequests != 1 || s.SolveFailures != 1 {
+		t.Fatalf("counters: %+v", s)
+	}
+	if s.QueueDepth != 3 || s.Inflight != 1 {
+		t.Fatalf("gauges: depth %d inflight %d", s.QueueDepth, s.Inflight)
+	}
+	if s.QueueWaitMS.Count != 2 || s.QueueWaitMS.SumMS != 12.5 {
+		t.Fatalf("queue wait histogram: %+v", s.QueueWaitMS)
+	}
+	if s.SolveMS.Count != 1 {
+		t.Fatalf("solve histogram: %+v", s.SolveMS)
+	}
+
+	// Buckets are cumulative and end at +Inf with the full count.
+	last := s.QueueWaitMS.Buckets[len(s.QueueWaitMS.Buckets)-1]
+	if last.LE != "+Inf" || last.Count != 2 {
+		t.Fatalf("+Inf bucket: %+v", last)
+	}
+	// 0.5ms lands in the le=1 bucket; 12ms first appears at le=25.
+	byLE := map[string]uint64{}
+	for _, b := range s.QueueWaitMS.Buckets {
+		byLE[b.LE] = b.Count
+	}
+	if byLE["1"] != 1 || byLE["10"] != 1 || byLE["25"] != 2 {
+		t.Fatalf("cumulative buckets wrong: %v", byLE)
+	}
+}
+
+func TestMetricsHistogramOverflow(t *testing.T) {
+	m := newMetrics(nil)
+	m.observeSolve(1e9) // far past the last bound
+	s := m.Snapshot()
+	last := s.SolveMS.Buckets[len(s.SolveMS.Buckets)-1]
+	if last.LE != "+Inf" || last.Count != 1 {
+		t.Fatalf("overflow bucket: %+v", last)
+	}
+	// Every finite bucket stays empty.
+	for _, b := range s.SolveMS.Buckets[:len(s.SolveMS.Buckets)-1] {
+		if b.Count != 0 {
+			t.Fatalf("finite bucket %s counted overflow: %+v", b.LE, b)
+		}
+	}
+}
+
+func TestMetricsPrometheusText(t *testing.T) {
+	m := newMetrics(func() int { return 1 })
+	m.observeSolve(3)
+	m.hit()
+	var b strings.Builder
+	if err := m.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE solverd_solves_total counter",
+		"solverd_solves_total 1",
+		"solverd_cache_hits_total 1",
+		"# TYPE solverd_queue_depth gauge",
+		"solverd_queue_depth 1",
+		"# TYPE solverd_solve_ms histogram",
+		`solverd_solve_ms_bucket{le="+Inf"} 1`,
+		"solverd_solve_ms_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus text missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+// Package serve is the solver-as-a-service layer behind cmd/solverd: it
+// turns the steady-state library's session-ready pieces — concurrency-safe
+// Solver sessions, JSON Scenario/Report serialization, context
+// cancellation threaded into the exact simplex — into a long-running
+// serving loop.
+//
+// The shape is a listener → admission queue → worker pool → cache
+// pipeline:
+//
+//   - Admission: every scenario that misses the report cache enters a
+//     bounded queue. The interactive endpoint (/solve) fails fast with a
+//     structured 503 when the queue is full — backpressure the client can
+//     retry on — while the batch endpoint (/sweep) blocks the producer,
+//     throttling the upload itself.
+//   - Deadlines: each request carries a deadline (the configured default,
+//     or the request's own, capped by the configured maximum) covering
+//     queue wait and solve; the context cancels the simplex between
+//     pivots, so a deadline miss frees the worker promptly and answers a
+//     structured 504.
+//   - Worker pool: a fixed number of workers drain the queue into Solver
+//     sessions pooled per platform content hash, so concurrent scenarios
+//     sharing a topology share one memoized reachability index — the same
+//     dedup contract as internal/sweep.
+//   - Report cache: an LRU of (platform-hash, spec-key) → Report. A hit
+//     returns the exact Report object computed by the cold solve —
+//     bit-identical bytes, no LP work — so hot scenarios cost a map
+//     lookup.
+//   - Telemetry: counters, gauges and latency histograms (Metrics) back
+//     the /metrics endpoint.
+//
+// Determinism is the correctness anchor: a scenario served through this
+// layer produces a Report byte-identical (modulo the solve_ms
+// measurement) to the same scenario swept through internal/sweep, and a
+// cache hit returns the cold solve's Report verbatim.
+package serve
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	steadystate "repro"
+)
+
+// Config sizes a Server. Zero values select the defaults.
+type Config struct {
+	// Workers is the solver pool size; ≤ 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds the admission queue; ≤ 0 means DefaultQueueDepth.
+	// A full queue fails fast on /solve (503) and blocks on /sweep.
+	QueueDepth int
+	// CacheSize is the report-cache capacity in entries; 0 means
+	// DefaultCacheSize, negative disables the cache.
+	CacheSize int
+	// SessionCacheSize bounds the per-platform Solver session pool; 0
+	// means DefaultSessionCacheSize. Eviction only costs warmth: a new
+	// session is built on the next request for that platform.
+	SessionCacheSize int
+	// DefaultSolveTimeout is the per-request deadline applied when the
+	// request does not carry one; 0 means DefaultSolveTimeoutValue,
+	// negative means no default deadline.
+	DefaultSolveTimeout time.Duration
+	// MaxSolveTimeout caps request-supplied deadlines; 0 means
+	// DefaultMaxSolveTimeout.
+	MaxSolveTimeout time.Duration
+	// MaxBodyBytes bounds a /solve request body and a single /sweep line;
+	// 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// The default Config values.
+const (
+	DefaultQueueDepth        = 64
+	DefaultCacheSize         = 1024
+	DefaultSessionCacheSize  = 64
+	DefaultSolveTimeoutValue = 2 * time.Minute
+	DefaultMaxSolveTimeout   = 10 * time.Minute
+	DefaultMaxBodyBytes      = 8 << 20
+)
+
+// withDefaults returns the config with zero values replaced by defaults.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = DefaultCacheSize
+	}
+	if c.SessionCacheSize <= 0 {
+		c.SessionCacheSize = DefaultSessionCacheSize
+	}
+	if c.DefaultSolveTimeout == 0 {
+		c.DefaultSolveTimeout = DefaultSolveTimeoutValue
+	}
+	if c.MaxSolveTimeout <= 0 {
+		c.MaxSolveTimeout = DefaultMaxSolveTimeout
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	return c
+}
+
+// ServiceError is the structured error of the serving layer: an HTTP
+// status, a stable machine-readable code, and a human message. Handlers
+// serialize it as {"error":{"code":…,"message":…}}.
+type ServiceError struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *ServiceError) Error() string { return e.Code + ": " + e.Message }
+
+// The structured error constructors, one per failure class.
+func errBadScenario(err error) *ServiceError {
+	return &ServiceError{Status: 400, Code: "bad_scenario", Message: err.Error()}
+}
+func errBodyTooLarge(limit int64) *ServiceError {
+	return &ServiceError{Status: 413, Code: "body_too_large",
+		Message: fmt.Sprintf("request body exceeds %d bytes", limit)}
+}
+func errQueueFull(depth int) *ServiceError {
+	return &ServiceError{Status: 503, Code: "queue_full",
+		Message: fmt.Sprintf("admission queue full (%d scenarios deep); retry later", depth)}
+}
+func errDeadline() *ServiceError {
+	return &ServiceError{Status: 504, Code: "deadline_exceeded",
+		Message: "request deadline exceeded while queued or solving"}
+}
+func errSolve(err error) *ServiceError {
+	return &ServiceError{Status: 400, Code: "unsolvable", Message: err.Error()}
+}
+func errDraining() *ServiceError {
+	return &ServiceError{Status: 503, Code: "draining",
+		Message: "server is draining; no new scenarios admitted"}
+}
+
+// CacheKey returns the scenario's identity in the serving layer: the
+// platform content hash (hex) and the canonical spec key, joined. Two
+// scenarios with equal keys produce bit-identical Reports, which is what
+// makes the report cache sound.
+func CacheKey(sc *steadystate.Scenario) (string, error) {
+	h, err := sc.Platform.ContentHash()
+	if err != nil {
+		return "", err
+	}
+	specKey, err := sc.Spec.CanonicalKey()
+	if err != nil {
+		return "", fmt.Errorf("spec has no canonical form: %w", err)
+	}
+	return hex.EncodeToString(h[:]) + "|" + specKey, nil
+}
+
+// platformKeyOf extracts the platform-hash half of a cache key — the
+// session-pool key.
+func platformKeyOf(cacheKey string) string {
+	for i := 0; i < len(cacheKey); i++ {
+		if cacheKey[i] == '|' {
+			return cacheKey[:i]
+		}
+	}
+	return cacheKey
+}
+
+// task is one admitted solve traveling from the handler to a worker.
+type task struct {
+	ctx      context.Context
+	scenario *steadystate.Scenario
+	session  *steadystate.Solver
+	key      string
+	enqueued time.Time
+	// done receives exactly one result; buffered so a worker never blocks
+	// on a waiter that gave up.
+	done chan taskResult
+}
+
+// taskResult is a worker's answer to one task.
+type taskResult struct {
+	report *steadystate.Report
+	err    error
+}
+
+// Server is one solver service instance: the admission queue, the worker
+// pool, the session pool, the report cache and the telemetry. Create with
+// New, expose with Handler, stop with Drain + Close.
+type Server struct {
+	cfg      Config
+	queue    chan *task
+	cache    *lruCache
+	sessions *lruCache
+	metrics  *Metrics
+	workers  chan struct{} // closed when every worker has exited
+	draining chan struct{} // closed by Drain
+	// solveFn runs one admitted scenario on its session; tests substitute
+	// it to make queue timing deterministic.
+	solveFn func(ctx context.Context, session *steadystate.Solver, sc *steadystate.Scenario) (*steadystate.Report, error)
+}
+
+// New returns a running Server: workers are started and the handler
+// returned by Handler can serve immediately.
+func New(cfg Config) *Server {
+	s := newServer(cfg)
+	s.start()
+	return s
+}
+
+// newServer builds the Server without starting its workers — the test
+// seam that lets solveFn be replaced race-free.
+func newServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		queue:    make(chan *task, cfg.QueueDepth),
+		cache:    newLRU(cfg.CacheSize),
+		sessions: newLRU(cfg.SessionCacheSize),
+		workers:  make(chan struct{}),
+		draining: make(chan struct{}),
+	}
+	s.metrics = newMetrics(func() int { return len(s.queue) })
+	s.solveFn = solveScenario
+	return s
+}
+
+// start launches the worker pool.
+func (s *Server) start() {
+	done := make(chan struct{}, s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			s.worker()
+		}()
+	}
+	go func() {
+		for i := 0; i < s.cfg.Workers; i++ {
+			<-done
+		}
+		close(s.workers)
+	}()
+}
+
+// solveScenario is the production solveFn: solve the spec on the session
+// and reduce the solution to its report.
+func solveScenario(ctx context.Context, session *steadystate.Solver, sc *steadystate.Scenario) (*steadystate.Report, error) {
+	sol, err := session.Solve(ctx, sc.Spec)
+	if err != nil {
+		return nil, err
+	}
+	return sol.Report()
+}
+
+// worker drains the admission queue until it is closed.
+func (s *Server) worker() {
+	for t := range s.queue {
+		s.metrics.observeQueueWait(msSince(t.enqueued))
+		if err := t.ctx.Err(); err != nil {
+			// The waiter's deadline fired while the task was queued;
+			// don't burn a solve nobody is waiting for.
+			t.done <- taskResult{err: err}
+			continue
+		}
+		rep, err := s.solveFn(t.ctx, t.session, t.scenario)
+		if err != nil {
+			t.done <- taskResult{err: err}
+			continue
+		}
+		s.metrics.observeSolve(rep.SolveMS)
+		s.cache.Put(t.key, rep)
+		t.done <- taskResult{report: rep}
+	}
+}
+
+// Metrics returns the server's telemetry.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Drain marks the server as draining: /healthz flips to 503 (so load
+// balancers stop routing here) and new scenarios are refused with a
+// structured 503, while already-admitted solves run to completion. Call
+// before http.Server.Shutdown; safe to call more than once.
+func (s *Server) Drain() {
+	select {
+	case <-s.draining:
+	default:
+		close(s.draining)
+	}
+}
+
+// isDraining reports whether Drain was called.
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close shuts the worker pool down, completing every queued solve first.
+// It must only be called once no handler can admit new work — after
+// http.Server.Shutdown has returned — and blocks until the last worker
+// has exited.
+func (s *Server) Close() {
+	s.Drain()
+	close(s.queue)
+	<-s.workers
+}
+
+// Solve resolves one scenario through the cache and the admission queue:
+// the programmatic core of the POST /solve handler. The returned bool
+// reports whether the report came from the cache. block selects the
+// admission discipline: false fails fast with a 503 ServiceError when the
+// queue is full, true waits for queue space (or the context). Every error
+// is a *ServiceError.
+func (s *Server) Solve(ctx context.Context, sc *steadystate.Scenario, block bool) (*steadystate.Report, bool, error) {
+	s.metrics.enter()
+	defer s.metrics.leave()
+
+	if sc == nil || sc.Platform == nil {
+		s.metrics.badRequest()
+		return nil, false, errBadScenario(errors.New("scenario has no platform"))
+	}
+	if sc.Spec.Kind == "" {
+		s.metrics.badRequest()
+		return nil, false, errBadScenario(errors.New("scenario has no spec (generate with topogen -spec)"))
+	}
+	key, err := CacheKey(sc)
+	if err != nil {
+		s.metrics.badRequest()
+		return nil, false, errBadScenario(err)
+	}
+
+	if rep, ok := s.cache.Get(key); ok {
+		s.metrics.hit()
+		return rep.(*steadystate.Report), true, nil
+	}
+	s.metrics.miss()
+
+	if s.isDraining() {
+		return nil, false, errDraining()
+	}
+	session := s.sessions.GetOrPut(platformKeyOf(key), func() any {
+		return steadystate.NewSolver(sc.Platform)
+	}).(*steadystate.Solver)
+
+	t := &task{
+		ctx:      ctx,
+		scenario: sc,
+		session:  session,
+		key:      key,
+		enqueued: time.Now(),
+		done:     make(chan taskResult, 1),
+	}
+	if block {
+		select {
+		case s.queue <- t:
+		case <-ctx.Done():
+			s.metrics.deadline()
+			return nil, false, errDeadline()
+		}
+	} else {
+		select {
+		case s.queue <- t:
+		default:
+			s.metrics.reject()
+			return nil, false, errQueueFull(s.cfg.QueueDepth)
+		}
+	}
+
+	select {
+	case res := <-t.done:
+		if res.err != nil {
+			if errors.Is(res.err, context.DeadlineExceeded) || errors.Is(res.err, context.Canceled) {
+				s.metrics.deadline()
+				return nil, false, errDeadline()
+			}
+			s.metrics.solveFailed()
+			return nil, false, errSolve(res.err)
+		}
+		return res.report, false, nil
+	case <-ctx.Done():
+		// The worker may still be solving; its context is ours, so the
+		// simplex unwinds between pivots and the buffered done channel
+		// absorbs the late result.
+		s.metrics.deadline()
+		return nil, false, errDeadline()
+	}
+}
+
+// msSince mirrors internal/sweep's wall-clock convention.
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}

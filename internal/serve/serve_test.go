@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	steadystate "repro"
+)
+
+// testScenario builds a tiny solvable scenario; n distinguishes cache
+// keys (distinct target sets → distinct canonical spec keys).
+func testScenario(t *testing.T, n int) *steadystate.Scenario {
+	t.Helper()
+	p := steadystate.NewPlatform()
+	src := p.AddNode("src", steadystate.R(1, 1))
+	var targets []steadystate.NodeID
+	for i := 0; i <= n; i++ {
+		dst := p.AddNode("dst"+string(rune('a'+i)), steadystate.R(1, 1))
+		p.AddLink(src, dst, steadystate.R(1, 4))
+		targets = append(targets, dst)
+	}
+	return &steadystate.Scenario{Platform: p, Spec: steadystate.ScatterSpec(src, targets...)}
+}
+
+// blockedServer returns an unstarted server whose solves block until the
+// returned release func runs (or their context dies), plus a channel that
+// receives one value per solve a worker picked up.
+func blockedServer(cfg Config) (*Server, chan struct{}, func()) {
+	s := newServer(cfg)
+	picked := make(chan struct{}, 64)
+	release := make(chan struct{})
+	s.solveFn = func(ctx context.Context, _ *steadystate.Solver, _ *steadystate.Scenario) (*steadystate.Report, error) {
+		picked <- struct{}{}
+		select {
+		case <-release:
+			return &steadystate.Report{Kind: steadystate.KindScatter, Throughput: "1"}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	s.start()
+	var once bool
+	return s, picked, func() {
+		if !once {
+			once = true
+			close(release)
+		}
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	// One worker, queue depth one: the first solve occupies the worker,
+	// the second fills the queue, the third is rejected with the
+	// structured 503.
+	s, picked, release := blockedServer(Config{Workers: 1, QueueDepth: 1, CacheSize: -1})
+	defer func() { release(); s.Close() }()
+
+	ctx := context.Background()
+	type outcome struct {
+		rep *steadystate.Report
+		err error
+	}
+	results := make(chan outcome, 2)
+	go func() {
+		rep, _, err := s.Solve(ctx, testScenario(t, 0), false)
+		results <- outcome{rep, err}
+	}()
+	<-picked // worker busy on solve 1
+
+	go func() {
+		rep, _, err := s.Solve(ctx, testScenario(t, 1), false)
+		results <- outcome{rep, err}
+	}()
+	// Wait until solve 2 is parked in the queue.
+	deadline := time.After(5 * time.Second)
+	for len(s.queue) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("second solve never reached the queue")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	_, _, err := s.Solve(ctx, testScenario(t, 2), false)
+	var se *ServiceError
+	if !errors.As(err, &se) || se.Status != 503 || se.Code != "queue_full" {
+		t.Fatalf("third solve: got %v, want structured 503 queue_full", err)
+	}
+	if got := s.metrics.Snapshot().QueueRejections; got != 1 {
+		t.Fatalf("queue_rejections: got %d want 1", got)
+	}
+
+	release()
+	for i := 0; i < 2; i++ {
+		res := <-results
+		if res.err != nil {
+			t.Fatalf("blocked solve %d failed after release: %v", i, res.err)
+		}
+	}
+}
+
+func TestBlockingAdmissionWaits(t *testing.T) {
+	// The batch discipline (block=true) waits for queue space instead of
+	// rejecting.
+	s, picked, release := blockedServer(Config{Workers: 1, QueueDepth: 1, CacheSize: -1})
+	defer func() { release(); s.Close() }()
+
+	done := make(chan error, 3)
+	solve := func(n int) {
+		_, _, err := s.Solve(context.Background(), testScenario(t, n), true)
+		done <- err
+	}
+	go solve(0)
+	<-picked
+	go solve(1) // queued
+	go solve(2) // blocked on admission — must NOT get a 503
+
+	select {
+	case err := <-done:
+		t.Fatalf("a blocking solve returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	release()
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("blocking solve failed: %v", err)
+		}
+	}
+}
+
+func TestDeadlineExceeded(t *testing.T) {
+	s, _, release := blockedServer(Config{Workers: 1, QueueDepth: 4, CacheSize: -1})
+	defer func() { release(); s.Close() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, err := s.Solve(ctx, testScenario(t, 0), false)
+	var se *ServiceError
+	if !errors.As(err, &se) || se.Status != 504 || se.Code != "deadline_exceeded" {
+		t.Fatalf("got %v, want structured 504 deadline_exceeded", err)
+	}
+	if got := s.metrics.Snapshot().DeadlineExceeded; got == 0 {
+		t.Fatal("deadline_exceeded counter did not move")
+	}
+}
+
+func TestQueuedTaskSkippedWhenWaiterGone(t *testing.T) {
+	// A task whose context dies while queued is answered without running
+	// the solve: the worker pre-checks the context.
+	s, picked, release := blockedServer(Config{Workers: 1, QueueDepth: 2, CacheSize: -1})
+	defer func() { release(); s.Close() }()
+
+	go s.Solve(context.Background(), testScenario(t, 0), false)
+	<-picked // worker busy
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := s.Solve(ctx, testScenario(t, 1), false)
+		errc <- err
+	}()
+	deadline := time.After(5 * time.Second)
+	for len(s.queue) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("solve never queued")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("canceled queued solve returned success")
+	}
+	release()
+	// The skipped task must not have reached solveFn: exactly one pickup
+	// (the first solve) may follow.
+	select {
+	case <-picked:
+		t.Fatal("canceled task was solved anyway")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestDrainRefusesNewWork(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	s.Drain()
+	_, _, err := s.Solve(context.Background(), testScenario(t, 0), false)
+	var se *ServiceError
+	if !errors.As(err, &se) || se.Status != 503 || se.Code != "draining" {
+		t.Fatalf("got %v, want structured 503 draining", err)
+	}
+	s.Close()
+}
+
+func TestCloseCompletesQueuedWork(t *testing.T) {
+	// Close drains the queue: a queued task is solved, not dropped.
+	s, picked, release := blockedServer(Config{Workers: 1, QueueDepth: 2, CacheSize: -1})
+
+	errs := make(chan error, 2)
+	go func() { _, _, err := s.Solve(context.Background(), testScenario(t, 0), false); errs <- err }()
+	<-picked
+	go func() { _, _, err := s.Solve(context.Background(), testScenario(t, 1), false); errs <- err }()
+	deadline := time.After(5 * time.Second)
+	for len(s.queue) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("solve never queued")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	release()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("solve %d: %v", i, err)
+		}
+	}
+	s.Close() // must return: workers exit once the queue is closed and empty
+}
+
+func TestSolveRejectsBadScenarios(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	cases := []struct {
+		name string
+		sc   *steadystate.Scenario
+	}{
+		{"nil scenario", nil},
+		{"no platform", &steadystate.Scenario{}},
+		{"no spec", &steadystate.Scenario{Platform: steadystate.NewPlatform()}},
+	}
+	for _, tc := range cases {
+		_, _, err := s.Solve(context.Background(), tc.sc, false)
+		var se *ServiceError
+		if !errors.As(err, &se) || se.Status != 400 {
+			t.Fatalf("%s: got %v, want structured 400", tc.name, err)
+		}
+	}
+	if got := s.metrics.Snapshot().BadRequests; got != uint64(len(cases)) {
+		t.Fatalf("bad_requests: got %d want %d", got, len(cases))
+	}
+}
+
+func TestSessionPoolSharesPlatforms(t *testing.T) {
+	// Two scenarios over byte-identical platforms share one session; a
+	// different platform gets its own.
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+
+	a1, a2, b := testScenario(t, 0), testScenario(t, 0), testScenario(t, 1)
+	// Distinct specs on the identical platform, so the second is not a
+	// report-cache hit.
+	a2.Spec = steadystate.BroadcastSpec(a2.Spec.Source, a2.Spec.Targets...)
+	if _, _, err := s.Solve(ctx, a1, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Solve(ctx, a2, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Solve(ctx, b, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.sessions.Len(); got != 2 {
+		t.Fatalf("session pool size: got %d want 2 (a1/a2 shared, b private)", got)
+	}
+}

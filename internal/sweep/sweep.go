@@ -235,7 +235,7 @@ func Shard(jobs []Job, index, count int) ([]Job, error) {
 }
 
 // sessions builds one Solver per distinct platform topology: platforms
-// are hashed by their canonical JSON, and jobs whose platforms hash
+// are deduplicated by Platform.ContentHash, and jobs whose platforms hash
 // equally share the session (node IDs are insertion-ordered and stable
 // across the JSON round trip, so a spec from one copy is valid against
 // another byte-identical copy). Returns the per-job session list and the
@@ -247,14 +247,13 @@ func sessions(jobs []Job) ([]*steadystate.Solver, int) {
 		if job.Scenario == nil {
 			continue
 		}
-		data, err := json.Marshal(job.Scenario.Platform)
+		h, err := job.Scenario.Platform.ContentHash()
 		if err != nil {
 			// Unhashable platform: fall back to a private session rather
 			// than failing a solvable scenario.
 			solvers[i] = steadystate.NewSolver(job.Scenario.Platform)
 			continue
 		}
-		h := sha256.Sum256(data)
 		if s, ok := byHash[h]; ok {
 			solvers[i] = s
 			continue

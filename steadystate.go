@@ -117,7 +117,9 @@ import (
 
 // Platform is the heterogeneous platform graph G = (V, E, c): directed
 // edges carry the time to transfer a unit-size message; non-router nodes
-// carry compute speeds.
+// carry compute speeds. Platform.ContentHash identifies a platform by the
+// sha256 of its canonical JSON — the session-sharing and report-cache key
+// of the sweep engine and the solverd serving layer.
 type Platform = graph.Platform
 
 // NodeID identifies a platform node.
