@@ -443,6 +443,30 @@ func optionsFor(kind Kind, opts []SolveOption) (*solveOptions, error) {
 // the paper). Test with errors.Is.
 var ErrUnsupported = errors.New("steadystate: operation not supported for this collective kind")
 
+// ErrUnsolvable marks solve failures that are the problem's fault rather
+// than the solver's: an invalid spec, bad options, or an impossible
+// instance (unreachable target, duplicate participants, …). Callers that
+// map solver errors onto fault classes — the serving layer turns these
+// into 400s and everything unrecognized into 500s — test with errors.Is.
+var ErrUnsolvable = errors.New("steadystate: scenario cannot be solved")
+
+// unsolvableError tags an error with ErrUnsolvable without changing its
+// message or breaking the rest of its chain.
+type unsolvableError struct{ err error }
+
+func (e *unsolvableError) Error() string        { return e.err.Error() }
+func (e *unsolvableError) Unwrap() error        { return e.err }
+func (e *unsolvableError) Is(target error) bool { return target == ErrUnsolvable }
+
+// unsolvable wraps validation and construction failures on their way out
+// of a solve.
+func unsolvable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &unsolvableError{err}
+}
+
 // Solution is a solved collective, whatever its kind. All arithmetic is
 // exact: Throughput and Period are bit-identical to the legacy per-kind
 // entry points. Capabilities a kind lacks return ErrUnsupported.
@@ -533,10 +557,10 @@ func (s *Solver) solve(ctx context.Context, spec Spec, opts ...SolveOption) (Sol
 	}
 	o, err := optionsFor(spec.Kind, opts)
 	if err != nil {
-		return nil, err
+		return nil, unsolvable(err)
 	}
 	if err := spec.validate(s.p); err != nil {
-		return nil, err
+		return nil, unsolvable(err)
 	}
 	if o.denseLP {
 		// The tableau selection rides the context all the way into the
@@ -548,7 +572,7 @@ func (s *Solver) solve(ctx context.Context, spec Spec, opts ...SolveOption) (Sol
 	case KindScatter, KindBroadcast, KindGossip, KindReduce, KindGather, KindPrefix:
 		mem, err := s.newMember(spec, rat.One(), o)
 		if err != nil {
-			return nil, err
+			return nil, unsolvable(err)
 		}
 		switch {
 		case mem.Scatter != nil:
@@ -609,7 +633,7 @@ func (s *Solver) solve(ctx context.Context, spec Spec, opts ...SolveOption) (Sol
 	case KindComposite:
 		return s.solveComposite(ctx, spec, spec.Members, spec.Weights, o)
 	}
-	return nil, fmt.Errorf("steadystate: unknown collective kind %q", spec.Kind)
+	return nil, unsolvable(fmt.Errorf("steadystate: unknown collective kind %q", spec.Kind))
 }
 
 // newMember builds the kind-specific problem of a base spec, with the
@@ -690,13 +714,13 @@ func (s *Solver) solveComposite(ctx context.Context, spec Spec, memberSpecs []Sp
 		}
 		mem, err := s.newMember(ms, w, o)
 		if err != nil {
-			return nil, fmt.Errorf("steadystate: %s member %d: %w", spec.Kind, i, err)
+			return nil, unsolvable(fmt.Errorf("steadystate: %s member %d: %w", spec.Kind, i, err))
 		}
 		members[i] = mem
 	}
 	cp, err := composite.NewProblem(s.p, members)
 	if err != nil {
-		return nil, err
+		return nil, unsolvable(err)
 	}
 	sol, err := cp.SolveCtx(ctx)
 	if err != nil {

@@ -15,6 +15,34 @@ import (
 	steadystate "repro"
 )
 
+// TestErrUnsolvableTagging: problem-level failures — invalid specs,
+// impossible instances — are tagged ErrUnsolvable for errors.Is without
+// changing their messages, so callers (the serving layer) can separate
+// client faults from solver faults.
+func TestErrUnsolvableTagging(t *testing.T) {
+	p := steadystate.NewPlatform()
+	a := p.AddNode("a", steadystate.R(1, 1))
+	b := p.AddNode("b", steadystate.R(1, 1)) // no link a→b: unreachable
+
+	_, err := steadystate.Solve(context.Background(), p, steadystate.ScatterSpec(a, b))
+	if !errors.Is(err, steadystate.ErrUnsolvable) {
+		t.Fatalf("unreachable target: err %v is not tagged ErrUnsolvable", err)
+	}
+	if want := "scatter: target b unreachable from source a"; err.Error() != want {
+		t.Fatalf("tagging changed the message: got %q want %q", err.Error(), want)
+	}
+
+	_, err = steadystate.Solve(context.Background(), p, steadystate.Spec{Kind: "raffle"})
+	if !errors.Is(err, steadystate.ErrUnsolvable) {
+		t.Fatalf("unknown kind: err %v is not tagged ErrUnsolvable", err)
+	}
+
+	p.AddLink(a, b, steadystate.R(1, 2))
+	if _, err := steadystate.Solve(context.Background(), p, steadystate.ScatterSpec(a, b)); err != nil {
+		t.Fatalf("solvable scenario errored: %v", err)
+	}
+}
+
 func ratEq(t *testing.T, got steadystate.Rat, want string, what string) {
 	t.Helper()
 	if got.RatString() != want {

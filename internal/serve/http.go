@@ -3,8 +3,8 @@
 // sweep records out, streamed), GET /healthz (readiness, drain-aware) and
 // GET /metrics (JSON snapshot or Prometheus text). Every failure is a
 // structured JSON error object with a stable code and the matching HTTP
-// status — 400 malformed, 413 oversized, 503 backpressure/draining, 504
-// deadline.
+// status — 400 malformed/unsolvable, 413 oversized, 503 backpressure/
+// draining, 504 deadline, 500 internal solver fault.
 package serve
 
 import (
@@ -185,6 +185,25 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Records are flushed while the scanner below is still reading the
+	// request body. Without full duplex, net/http's HTTP/1 server closes
+	// the unread body at the first response write, silently truncating
+	// every batch larger than what the server had already buffered — the
+	// backpressure design needs the body read to outlive response writes.
+	body := io.Reader(r.Body)
+	if err := http.NewResponseController(w).EnableFullDuplex(); err != nil {
+		// A transport that cannot interleave (e.g. a test recorder):
+		// buffer the whole stream up front. Correct, just without the
+		// producer-side backpressure.
+		data, rerr := io.ReadAll(body)
+		if rerr != nil {
+			s.metrics.badRequest()
+			writeError(w, errBadScenario(fmt.Errorf("read stream: %w", rerr)))
+			return
+		}
+		body = bytes.NewReader(data)
+	}
+
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	var mu sync.Mutex // serializes record writes
@@ -205,7 +224,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// The window bounds lines in flight beyond the queue itself, so a
 	// huge batch cannot hold one goroutine per line.
 	window := make(chan struct{}, s.cfg.QueueDepth)
-	scanner := bufio.NewScanner(r.Body)
+	scanner := bufio.NewScanner(body)
 	scanner.Buffer(nil, int(s.cfg.MaxBodyBytes))
 	lineNo := 0
 	for scanner.Scan() {

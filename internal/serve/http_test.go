@@ -256,6 +256,75 @@ func TestHTTPSweepJSONL(t *testing.T) {
 	}
 }
 
+// TestHTTPSweepStreamsFullDuplex drives /sweep interactively: send one
+// line, read its record back, send the next. After the first flushed
+// record the server must keep reading the request body — without full
+// duplex, net/http's HTTP/1 server closes the unread body at the first
+// response write and every later line is silently dropped (the batch
+// truncation regression).
+func TestHTTPSweepStreamsFullDuplex(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	pr, pw := io.Pipe()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/sweep", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+
+	type result struct {
+		resp *http.Response
+		err  error
+	}
+	respc := make(chan result, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		respc <- result{resp, err}
+	}()
+	writeLine := func(n int) {
+		if _, err := pw.Write(append(scenarioJSON(t, n), '\n')); err != nil {
+			t.Fatalf("write line %d: %v", n, err)
+		}
+	}
+
+	writeLine(0) // Do returns once the first record's headers are flushed
+	res := <-respc
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	defer res.resp.Body.Close()
+	if res.resp.StatusCode != 200 {
+		t.Fatalf("sweep status: %d", res.resp.StatusCode)
+	}
+
+	const lines = 6
+	br := bufio.NewReader(res.resp.Body)
+	for i := 0; i < lines; i++ {
+		// Record i is read before line i+1 is sent, so every iteration
+		// past the first exercises body reads after response writes.
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		var rec sweep.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("record %d %q: %v", i, line, err)
+		}
+		if rec.Error != "" || rec.Report == nil {
+			t.Fatalf("record %d is not a solve record: %+v", i, rec)
+		}
+		if i+1 < lines {
+			writeLine(i + 1)
+		}
+	}
+	pw.Close()
+	if extra, err := br.ReadBytes('\n'); err != io.EOF {
+		t.Fatalf("stream did not end cleanly: %q (err %v)", extra, err)
+	}
+}
+
 // normalizeReportJSON canonicalizes a Report's JSON for comparison: the
 // wall-clock solve_ms measurement is dropped, keys are sorted by the map
 // round trip. Everything else must match byte for byte.

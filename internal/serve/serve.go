@@ -40,9 +40,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	steadystate "repro"
+	"repro/internal/lp"
 )
 
 // Config sizes a Server. Zero values select the defaults.
@@ -135,8 +137,20 @@ func errDeadline() *ServiceError {
 	return &ServiceError{Status: 504, Code: "deadline_exceeded",
 		Message: "request deadline exceeded while queued or solving"}
 }
+
+// errSolve classifies a solver failure by fault. Recognized problem-level
+// failures — invalid or impossible scenarios (steadystate.ErrUnsolvable),
+// infeasible or unbounded LPs, unsupported capabilities — are the
+// client's 400; anything unrecognized is a server fault and answers 500,
+// telling clients a retry elsewhere may succeed and keeping error-rate
+// monitoring honest.
 func errSolve(err error) *ServiceError {
-	return &ServiceError{Status: 400, Code: "unsolvable", Message: err.Error()}
+	if errors.Is(err, steadystate.ErrUnsolvable) ||
+		errors.Is(err, steadystate.ErrUnsupported) ||
+		errors.Is(err, lp.ErrInfeasible) || errors.Is(err, lp.ErrUnbounded) {
+		return &ServiceError{Status: 400, Code: "unsolvable", Message: err.Error()}
+	}
+	return &ServiceError{Status: 500, Code: "internal", Message: err.Error()}
 }
 func errDraining() *ServiceError {
 	return &ServiceError{Status: 503, Code: "draining",
@@ -198,7 +212,15 @@ type Server struct {
 	sessions *lruCache
 	metrics  *Metrics
 	workers  chan struct{} // closed when every worker has exited
-	draining chan struct{} // closed by Drain
+	// The admission gate: draining refuses new admissions, admitters
+	// counts handlers between admit() and their queue send. Close may only
+	// close the queue once draining is set AND admitters has drained —
+	// otherwise a handler that passed the gate could send on a closed
+	// channel and panic.
+	mu        sync.Mutex
+	draining  bool
+	admitters sync.WaitGroup
+	closeOnce sync.Once
 	// solveFn runs one admitted scenario on its session; tests substitute
 	// it to make queue timing deterministic.
 	solveFn func(ctx context.Context, session *steadystate.Solver, sc *steadystate.Scenario) (*steadystate.Report, error)
@@ -222,7 +244,6 @@ func newServer(cfg Config) *Server {
 		cache:    newLRU(cfg.CacheSize),
 		sessions: newLRU(cfg.SessionCacheSize),
 		workers:  make(chan struct{}),
-		draining: make(chan struct{}),
 	}
 	s.metrics = newMetrics(func() int { return len(s.queue) })
 	s.solveFn = solveScenario
@@ -285,30 +306,45 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // structured 503, while already-admitted solves run to completion. Call
 // before http.Server.Shutdown; safe to call more than once.
 func (s *Server) Drain() {
-	select {
-	case <-s.draining:
-	default:
-		close(s.draining)
-	}
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
 }
 
 // isDraining reports whether Drain was called.
 func (s *Server) isDraining() bool {
-	select {
-	case <-s.draining:
-		return true
-	default:
-		return false
-	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
-// Close shuts the worker pool down, completing every queued solve first.
-// It must only be called once no handler can admit new work — after
-// http.Server.Shutdown has returned — and blocks until the last worker
-// has exited.
+// admit reserves the right to enqueue one task, refusing once Drain has
+// run. On success the caller owes one s.admitters.Done() when its queue
+// send completes or is abandoned — the refcount Close waits on before
+// closing the queue.
+func (s *Server) admit() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.admitters.Add(1)
+	return true
+}
+
+// Close shuts the worker pool down, completing every queued solve first,
+// and blocks until the last worker has exited. It is safe even while
+// handlers are still running — cmd/solverd's forced-shutdown and
+// listener-error paths call it with requests possibly live: admission is
+// revoked first, handlers already past the gate finish their enqueues
+// before the queue is closed, and later Solve calls get the structured
+// draining error. Safe to call more than once.
 func (s *Server) Close() {
 	s.Drain()
-	close(s.queue)
+	s.closeOnce.Do(func() {
+		s.admitters.Wait()
+		close(s.queue)
+	})
 	<-s.workers
 }
 
@@ -342,7 +378,9 @@ func (s *Server) Solve(ctx context.Context, sc *steadystate.Scenario, block bool
 	}
 	s.metrics.miss()
 
-	if s.isDraining() {
+	// The admission permit covers the window between the draining check
+	// and the queue send, so Close cannot close the queue underneath us.
+	if !s.admit() {
 		return nil, false, errDraining()
 	}
 	session := s.sessions.GetOrPut(platformKeyOf(key), func() any {
@@ -360,14 +398,18 @@ func (s *Server) Solve(ctx context.Context, sc *steadystate.Scenario, block bool
 	if block {
 		select {
 		case s.queue <- t:
+			s.admitters.Done()
 		case <-ctx.Done():
+			s.admitters.Done()
 			s.metrics.deadline()
 			return nil, false, errDeadline()
 		}
 	} else {
 		select {
 		case s.queue <- t:
+			s.admitters.Done()
 		default:
+			s.admitters.Done()
 			s.metrics.reject()
 			return nil, false, errQueueFull(s.cfg.QueueDepth)
 		}

@@ -3,10 +3,13 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	steadystate "repro"
+	"repro/internal/lp"
 )
 
 // testScenario builds a tiny solvable scenario; n distinguishes cache
@@ -217,6 +220,91 @@ func TestCloseCompletesQueuedWork(t *testing.T) {
 		}
 	}
 	s.Close() // must return: workers exit once the queue is closed and empty
+}
+
+// TestCloseDuringAdmissionDoesNotPanic is the regression test for the
+// shutdown race: Close used to close the admission queue while a handler
+// could still sit between the draining check and its queue send — a
+// send-on-closed-channel panic under cmd/solverd's forced-shutdown path.
+// The admission refcount closes that window; late arrivals get the
+// structured draining 503 instead.
+func TestCloseDuringAdmissionDoesNotPanic(t *testing.T) {
+	for round := 0; round < 25; round++ {
+		s := newServer(Config{Workers: 2, QueueDepth: 1, CacheSize: -1})
+		s.solveFn = func(context.Context, *steadystate.Solver, *steadystate.Scenario) (*steadystate.Report, error) {
+			return &steadystate.Report{Kind: steadystate.KindScatter, Throughput: "1"}, nil
+		}
+		s.start()
+
+		const goroutines = 8
+		scenarios := make([]*steadystate.Scenario, goroutines)
+		for g := range scenarios {
+			scenarios[g] = testScenario(t, g%3)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		errs := make(chan error, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				_, _, err := s.Solve(context.Background(), scenarios[g], g%2 == 0)
+				errs <- err
+			}(g)
+		}
+		close(start)
+		s.Close() // races the admissions above
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err == nil {
+				continue
+			}
+			var se *ServiceError
+			if !errors.As(err, &se) {
+				t.Fatalf("round %d: unstructured error %v", round, err)
+			}
+			switch se.Code {
+			case "draining", "queue_full":
+			default:
+				t.Fatalf("round %d: unexpected error %v", round, err)
+			}
+		}
+	}
+}
+
+// TestSolveErrorClassification pins the fault classes at the Solve
+// boundary: recognized problem-level failures answer 400 unsolvable,
+// unrecognized solver faults answer 500 internal.
+func TestSolveErrorClassification(t *testing.T) {
+	cases := []struct {
+		name   string
+		err    error
+		status int
+		code   string
+	}{
+		{"infeasible LP", fmt.Errorf("scatter: %w", lp.ErrInfeasible), 400, "unsolvable"},
+		{"unbounded LP", fmt.Errorf("gossip: %w", lp.ErrUnbounded), 400, "unsolvable"},
+		{"tagged unsolvable", fmt.Errorf("wrapped: %w", steadystate.ErrUnsolvable), 400, "unsolvable"},
+		{"unsupported capability", fmt.Errorf("no schedule: %w", steadystate.ErrUnsupported), 400, "unsolvable"},
+		{"internal fault", errors.New("tableau corrupted"), 500, "internal"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newServer(Config{Workers: 1, CacheSize: -1})
+			s.solveFn = func(context.Context, *steadystate.Solver, *steadystate.Scenario) (*steadystate.Report, error) {
+				return nil, tc.err
+			}
+			s.start()
+			defer s.Close()
+			_, _, err := s.Solve(context.Background(), testScenario(t, 0), false)
+			var se *ServiceError
+			if !errors.As(err, &se) || se.Status != tc.status || se.Code != tc.code {
+				t.Fatalf("got %v, want %d %s", err, tc.status, tc.code)
+			}
+		})
+	}
 }
 
 func TestSolveRejectsBadScenarios(t *testing.T) {
