@@ -3,6 +3,11 @@
 // comment. It is the CI docs job's replacement for an external linter's
 // "exported" rule — pure go/ast, no dependencies.
 //
+// The rule itself lives in internal/analysis/passes/exporteddoc, where
+// cmd/sslint runs it type-checked over whole package patterns; this
+// command remains as the thin parse-only wrapper the docs job calls on
+// explicit directories.
+//
 // Usage:
 //
 //	doccheck ./pkg1 ./pkg2 ...
@@ -22,13 +27,15 @@ package main
 
 import (
 	"fmt"
-	"go/ast"
 	"go/parser"
 	"go/token"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+
+	"repro/internal/analysis/passes/exporteddoc"
 )
 
 func main() {
@@ -63,7 +70,8 @@ func run(dirs []string, out io.Writer) error {
 }
 
 // checkDir parses the directory's non-test Go files and returns one
-// "file:line: exported X is missing a doc comment" entry per offender.
+// "file:line: exported X is missing a doc comment" entry per offender,
+// sorted by position (parser.ParseDir hands back files in map order).
 func checkDir(dir string) ([]string, error) {
 	fset := token.NewFileSet()
 	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
@@ -73,85 +81,15 @@ func checkDir(dir string) ([]string, error) {
 		return nil, fmt.Errorf("parse %s: %w", dir, err)
 	}
 	var missing []string
-	report := func(pos token.Pos, what, name string) {
-		p := fset.Position(pos)
-		missing = append(missing, fmt.Sprintf("%s:%d: exported %s %s is missing a doc comment",
-			filepath.ToSlash(p.Filename), p.Line, what, name))
-	}
 	for _, pkg := range pkgs {
 		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				switch d := decl.(type) {
-				case *ast.FuncDecl:
-					checkFunc(d, report)
-				case *ast.GenDecl:
-					checkGen(d, report)
-				}
+			for _, f := range exporteddoc.CheckFile(file) {
+				p := fset.Position(f.Pos)
+				missing = append(missing, fmt.Sprintf("%s:%d: exported %s %s is missing a doc comment",
+					filepath.ToSlash(p.Filename), p.Line, f.What, f.Name))
 			}
 		}
 	}
+	sort.Strings(missing)
 	return missing, nil
-}
-
-// checkFunc flags exported functions — and methods on exported receiver
-// types — without doc comments.
-func checkFunc(d *ast.FuncDecl, report func(token.Pos, string, string)) {
-	if !d.Name.IsExported() || d.Doc != nil {
-		return
-	}
-	what, name := "function", d.Name.Name
-	if d.Recv != nil && len(d.Recv.List) > 0 {
-		recv := receiverName(d.Recv.List[0].Type)
-		if recv == "" || !ast.IsExported(recv) {
-			return // a method on an unexported type is not API surface
-		}
-		what, name = "method", recv+"."+d.Name.Name
-	}
-	report(d.Pos(), what, name)
-}
-
-// checkGen flags exported type, const and var specs whose group and spec
-// both lack documentation (const/var specs also accept a trailing line
-// comment, the idiomatic style for enum-like groups).
-func checkGen(d *ast.GenDecl, report func(token.Pos, string, string)) {
-	for _, spec := range d.Specs {
-		switch s := spec.(type) {
-		case *ast.TypeSpec:
-			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
-				report(s.Pos(), "type", s.Name.Name)
-			}
-		case *ast.ValueSpec:
-			if d.Doc != nil || s.Doc != nil || s.Comment != nil {
-				continue
-			}
-			what := "const"
-			if d.Tok == token.VAR {
-				what = "var"
-			}
-			for _, name := range s.Names {
-				if name.IsExported() {
-					report(name.Pos(), what, name.Name)
-				}
-			}
-		}
-	}
-}
-
-// receiverName unwraps a method receiver's type expression to its named
-// type, looking through pointers and generic instantiations.
-func receiverName(expr ast.Expr) string {
-	for {
-		switch t := expr.(type) {
-		case *ast.StarExpr:
-			expr = t.X
-		case *ast.IndexExpr:
-			expr = t.X
-		case *ast.IndexListExpr:
-			expr = t.X
-		case *ast.Ident:
-			return t.Name
-		default:
-			return ""
-		}
-	}
 }

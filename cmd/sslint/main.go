@@ -1,0 +1,89 @@
+// Command sslint runs the repository's static-analysis suite: six
+// analyzers mechanizing the invariants the steady-state stack's
+// guarantees rest on — exact rational arithmetic in the LP path
+// (ratfloat), no map-iteration order in observable output
+// (mapdeterminism), contexts threaded into every solver loop (ctxflow),
+// the fragment contract for shared-capacity LPs (fragmentcontract),
+// stable serving-layer wire error codes (errcode), and doc comments on
+// every exported identifier (exporteddoc).
+//
+// Usage:
+//
+//	sslint [-list] [-checks name,name] packages...
+//
+// Packages are go-tool patterns (typically ./...). Findings print one
+// per line as file:line:col: message (analyzer); any finding makes the
+// command exit non-zero — CI's lint job is exactly `sslint ./...`.
+//
+// A finding is suppressed by an end-of-line (or preceding-line) comment
+//
+//	//sslint:allow <reason>
+//
+// whose reason is mandatory: a bare //sslint:allow is itself a finding.
+// Test files are not analyzed; fixtures and golden writers bend the
+// invariants on purpose.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/sslint"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sslint: %v\n", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes the suite and returns the process exit code: 0 clean,
+// 1 findings. Factored out of main for testability.
+func run(args []string, out *os.File) (int, error) {
+	fs := flag.NewFlagSet("sslint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	checks := fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	suite := sslint.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(out, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0, nil
+	}
+	if *checks != "" {
+		named, ok := sslint.ByName(strings.Split(*checks, ","))
+		if !ok {
+			return 2, fmt.Errorf("unknown analyzer in -checks=%s (try -list)", *checks)
+		}
+		suite = named
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		return 2, fmt.Errorf("no packages given (try sslint ./...)")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		return 2, err
+	}
+	diags, err := analysis.Run(wd, patterns, suite)
+	if err != nil {
+		return 2, err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(out, "sslint: %d finding(s)\n", len(diags))
+		return 1, nil
+	}
+	return 0, nil
+}

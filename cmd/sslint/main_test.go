@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tempOut returns a file to capture run's output, plus a reader.
+func tempOut(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "sslint-out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// readBack returns everything written to f.
+func readBack(t *testing.T, f *os.File) string {
+	t.Helper()
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestSuiteCleanOnRepo is the driver-level smoke test: the full suite
+// over the whole module must come back clean — every real violation is
+// either fixed or carries a reasoned //sslint:allow.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(root)
+	out := tempOut(t)
+	code, err := run([]string{"./..."}, out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("suite found violations in the repository (exit %d):\n%s", code, readBack(t, out))
+	}
+}
+
+// TestListNamesEveryAnalyzer checks -list prints the six analyzers.
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	out := tempOut(t)
+	code, err := run([]string{"-list"}, out)
+	if err != nil || code != 0 {
+		t.Fatalf("run -list: code %d, err %v", code, err)
+	}
+	got := readBack(t, out)
+	for _, name := range []string{"ctxflow", "errcode", "exporteddoc", "fragmentcontract", "mapdeterminism", "ratfloat"} {
+		if !strings.Contains(got, name) {
+			t.Errorf("-list output missing %s:\n%s", name, got)
+		}
+	}
+}
+
+// TestUnknownCheckRejected checks an unknown -checks name is a usage
+// error, not a silent no-op.
+func TestUnknownCheckRejected(t *testing.T) {
+	out := tempOut(t)
+	if code, err := run([]string{"-checks", "nosuch", "./..."}, out); err == nil || code != 2 {
+		t.Fatalf("run -checks=nosuch: code %d, err %v, want code 2 with error", code, err)
+	}
+}

@@ -1,0 +1,26 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/mapdeterminism"
+)
+
+// TestAllowDirective runs a real analyzer over the suppression fixture:
+// reasoned allows (same line and line above) drop the finding, a bare
+// allow drops nothing and is reported itself.
+func TestAllowDirective(t *testing.T) {
+	diags := analysistest.Diagnostics(t, mapdeterminism.Analyzer, "testdata/suppress", "repro/internal/fixture")
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (bare directive + unsuppressed append): %v", len(diags), diags)
+	}
+	bare, leak := diags[0], diags[1]
+	if bare.Analyzer != "sslint" || !strings.Contains(bare.Message, "without a reason") {
+		t.Errorf("first diagnostic = %s, want the bare-directive finding", bare)
+	}
+	if leak.Analyzer != "mapdeterminism" || !strings.Contains(leak.Message, "append to c") {
+		t.Errorf("second diagnostic = %s, want the unsuppressed append", leak)
+	}
+}

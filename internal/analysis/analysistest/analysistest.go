@@ -1,0 +1,232 @@
+// Package analysistest runs one analyzer over a fixture directory and
+// checks its diagnostics against expectations written in the fixture
+// itself — the same convention as golang.org/x/tools/go/analysis/
+// analysistest, reimplemented on the in-repo framework.
+//
+// A fixture is a directory of Go files forming one package. Every line
+// expected to be flagged carries a trailing comment
+//
+//	// want "regexp"
+//
+// (several quoted regexps when several findings land on the line). The
+// harness fails the test for any diagnostic without a matching want and
+// any want without a matching diagnostic.
+//
+// Because path-scoped analyzers (ratfloat, fragmentcontract) key off
+// the package's import path, each run names the path the fixture is
+// type-checked under — fixtures can pose as "repro/internal/lp/..." to
+// land inside an analyzer's scope, or under a neutral path to verify
+// the analyzer stays quiet out of scope. Fixtures may import real
+// packages of this module (and the standard library); imports resolve
+// through compiler export data.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// sharedLoader caches export-data resolution across all fixture runs in
+// one test binary.
+var (
+	loaderOnce sync.Once
+	loader     *analysis.Loader
+	loaderErr  error
+)
+
+// moduleLoader returns the process-wide fixture loader, rooted at the
+// enclosing module.
+func moduleLoader() (*analysis.Loader, error) {
+	loaderOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader = analysis.NewLoader(root)
+	})
+	return loader, loaderErr
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}
+
+// Run checks the analyzer against the fixture directory, type-checked
+// under importPath, comparing diagnostics to the fixture's // want
+// comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	diags := Diagnostics(t, a, dir, importPath)
+	wants := parseWants(t, dir)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// Diagnostics runs the analyzer over the fixture and returns its
+// surviving (post-suppression) diagnostics sorted by position, for
+// tests that assert on them directly.
+func Diagnostics(t *testing.T, a *analysis.Analyzer, dir, importPath string) []analysis.Diagnostic {
+	t.Helper()
+	l, err := moduleLoader()
+	if err != nil {
+		t.Fatalf("locate module root: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse fixture %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", dir)
+	}
+	pkg, err := l.CheckSource(importPath, fset, files)
+	if err != nil {
+		t.Fatalf("type-check fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.RunPackage(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on fixture %s: %v", a.Name, dir, err)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return diags
+}
+
+// want is one expectation: a regexp that must match a diagnostic on the
+// given fixture file and line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// wantPattern extracts the quoted regexps of a // want comment.
+var wantPattern = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants scans the fixture sources for // want comments.
+func parseWants(t *testing.T, dir string) []want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	var wants []want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("read fixture %s: %v", e.Name(), err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantPattern.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, raw := range splitQuoted(m[1]) {
+				pat, err := strconv.Unquote(raw)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", e.Name(), i+1, raw, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", e.Name(), i+1, pat, err)
+				}
+				wants = append(wants, want{file: e.Name(), line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted returns the double-quoted segments of s.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		start := strings.IndexByte(s, '"')
+		if start < 0 {
+			return out
+		}
+		rest := s[start+1:]
+		end := 0
+		for {
+			i := strings.IndexByte(rest[end:], '"')
+			if i < 0 {
+				return out
+			}
+			end += i
+			if end > 0 && rest[end-1] == '\\' {
+				end++
+				continue
+			}
+			break
+		}
+		out = append(out, s[start:start+end+2])
+		s = rest[end+1:]
+	}
+}

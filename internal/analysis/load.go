@@ -1,0 +1,224 @@
+// load.go loads and type-checks packages for analysis without
+// golang.org/x/tools/go/packages: `go list -deps -export -json` yields
+// every package's source files plus the compiler's export data for its
+// dependencies, and go/importer type-checks the target's syntax against
+// that export data. This is the same division of labor as go vet's
+// unitchecker — syntax for the package under analysis, export data for
+// everything below it — driven here by one process.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	// ImportPath is the package's canonical import path.
+	ImportPath string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// Export is the path of the compiler export data produced by
+	// `go list -export`, empty if the package failed to build.
+	Export string
+	// GoFiles lists the package's non-test Go sources (no _test.go, no
+	// files excluded by build constraints).
+	GoFiles []string
+	// DepOnly marks packages listed only as dependencies, not matched
+	// by the command-line patterns.
+	DepOnly bool
+}
+
+// A Loader lists, parses and type-checks packages rooted at a module
+// directory. It shells out to the go tool once per Load call and caches
+// export-data locations for import resolution; a zero Loader is not
+// usable — construct with NewLoader.
+type Loader struct {
+	// dir is the directory `go list` runs in (any directory inside the
+	// target module).
+	dir string
+
+	mu     sync.Mutex
+	export map[string]string // import path → export data file
+}
+
+// NewLoader returns a loader running the go tool in dir.
+func NewLoader(dir string) *Loader {
+	return &Loader{dir: dir, export: make(map[string]string)}
+}
+
+// A LoadedPackage is one type-checked package ready for analysis.
+type LoadedPackage struct {
+	// ImportPath is the package's import path as reported by go list.
+	ImportPath string
+	// Fset positions the package's syntax.
+	Fset *token.FileSet
+	// Files is the parsed syntax of the package's non-test sources,
+	// with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds type and object resolutions for Files.
+	Info *types.Info
+}
+
+// Load lists the packages matching patterns (e.g. "./..."), parses and
+// type-checks each one, and returns them sorted in go list order.
+// Packages listed only as dependencies are resolved from export data,
+// never parsed.
+func (l *Loader) Load(patterns ...string) ([]*LoadedPackage, error) {
+	roots, err := l.list(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*LoadedPackage
+	for _, p := range roots {
+		lp, err := l.check(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// list runs `go list -deps -export -json`, records every listed
+// package's export data for import resolution, and returns the
+// non-DepOnly roots.
+func (l *Loader) list(patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	var roots []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(outBytes))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %v", err)
+		}
+		if p.Export != "" {
+			l.export[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			roots = append(roots, p)
+		}
+	}
+	return roots, nil
+}
+
+// lookupExport resolves an import path to its compiler export data,
+// falling back to an extra `go list -export` run for paths outside the
+// original pattern's dependency closure (the analysistest fixtures use
+// this to import packages of this module).
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	file, ok := l.export[path]
+	l.mu.Unlock()
+	if !ok {
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+		cmd.Dir = l.dir
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("analysis: no export data for %q: %v", path, err)
+		}
+		file = strings.TrimSpace(string(out))
+		if file == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		l.mu.Lock()
+		l.export[path] = file
+		l.mu.Unlock()
+	}
+	return os.Open(file)
+}
+
+// check parses and type-checks one listed package.
+func (l *Loader) check(p *listedPackage) (*LoadedPackage, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := l.typeCheck(p.ImportPath, fset, files)
+	if err != nil {
+		return nil, err
+	}
+	return &LoadedPackage{
+		ImportPath: p.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, nil
+}
+
+// CheckSource type-checks already-parsed files as the package at path,
+// resolving imports through the loader's export data (with the
+// on-demand fallback, so the files may import any buildable package).
+// analysistest uses it to check fixture sources under a chosen import
+// path — which is how path-scoped analyzers like ratfloat are pointed
+// at fixtures.
+func (l *Loader) CheckSource(path string, fset *token.FileSet, files []*ast.File) (*LoadedPackage, error) {
+	pkg, info, err := l.typeCheck(path, fset, files)
+	if err != nil {
+		return nil, err
+	}
+	return &LoadedPackage{
+		ImportPath: path,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, nil
+}
+
+// typeCheck type-checks already-parsed files as the package at path,
+// resolving imports through the loader's export data.
+func (l *Loader) typeCheck(path string, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", l.lookupExport),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: type-check %s: %v", path, err)
+	}
+	return pkg, info, nil
+}

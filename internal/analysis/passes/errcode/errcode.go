@@ -1,0 +1,151 @@
+// Package errcode keeps the serving layer's wire error codes on their
+// central constants.
+//
+// internal/serve promises clients *stable* machine-readable error codes
+// ({"error":{"code":...}}): retry logic keys off queue_full vs
+// draining, monitoring keys off unsolvable vs internal. That promise
+// only holds while every code written to the wire is one of the
+// declared Code* constants — a handler typing "que_full" inline
+// compiles fine and quietly forks the API. The analyzer flags, in any
+// package using a ServiceError-shaped type (a named struct with a
+// string Code field):
+//
+//   - composite literals that set Code to a string literal instead of a
+//     constant identifier;
+//   - string literals embedding an inline JSON error code
+//     (`"code":"..."`), which bypass the struct entirely.
+//
+// Tests deliberately keep literal codes: asserting on the constant
+// would let a constant's value drift without any test noticing, and the
+// suite does not analyze test files.
+package errcode
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errcode pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcode",
+	Doc:  "wire error codes must reference the central Code* constants, not string literals",
+	Run:  run,
+}
+
+// inlineCode matches a JSON error-code key/value pair embedded in a
+// string literal.
+var inlineCode = regexp.MustCompile(`"code"\s*:\s*"[^"]*"`)
+
+// run flags literal Code fields and inline JSON codes in packages that
+// touch a ServiceError-shaped type.
+func run(pass *analysis.Pass) error {
+	if !usesServiceError(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkLiteral(pass, n)
+			case *ast.BasicLit:
+				if inlineCode.MatchString(n.Value) {
+					pass.Reportf(n.Pos(), "inline JSON error code bypasses ServiceError: build the body from the Code* constants")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// usesServiceError reports whether the package defines or imports a
+// named struct type called ServiceError with a string field Code.
+func usesServiceError(pass *analysis.Pass) bool {
+	if isServiceErrorScope(pass.Pkg) {
+		return true
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		if isServiceErrorScope(imp) {
+			return true
+		}
+	}
+	return false
+}
+
+// isServiceErrorScope reports whether the package declares a
+// ServiceError type with a string Code field.
+func isServiceErrorScope(pkg *types.Package) bool {
+	obj := pkg.Scope().Lookup("ServiceError")
+	if obj == nil {
+		return false
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	return codeField(st) >= 0
+}
+
+// codeField returns the index of the string field named Code, or -1.
+func codeField(st *types.Struct) int {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != "Code" {
+			continue
+		}
+		if b, ok := f.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// checkLiteral flags a ServiceError composite literal whose Code field
+// is set from a string literal.
+func checkLiteral(pass *analysis.Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	named, ok := derefNamed(t)
+	if !ok || named.Obj().Name() != "ServiceError" {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	idx := codeField(st)
+	if idx < 0 {
+		return
+	}
+	for i, elt := range lit.Elts {
+		var value ast.Expr
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || key.Name != "Code" {
+				continue
+			}
+			value = kv.Value
+		} else if i == idx {
+			value = elt
+		} else {
+			continue
+		}
+		if bl, ok := value.(*ast.BasicLit); ok {
+			pass.Reportf(bl.Pos(), "wire error code %s is a string literal: reference the exported Code* constants so the stable-codes promise is checkable", bl.Value)
+		}
+	}
+}
+
+// derefNamed unwraps a (possibly pointer) type to its named form.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}

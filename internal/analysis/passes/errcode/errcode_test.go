@@ -1,0 +1,22 @@
+package errcode_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/errcode"
+)
+
+// TestFlagged checks literal Code fields (keyed and positional) and
+// inline JSON codes are caught in a ServiceError-using package.
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, errcode.Analyzer, "testdata/flagged", "repro/internal/fixture")
+}
+
+// TestCleanWithoutServiceError checks the analyzer stays disarmed in
+// packages that never touch a ServiceError-shaped type.
+func TestCleanWithoutServiceError(t *testing.T) {
+	if diags := analysistest.Diagnostics(t, errcode.Analyzer, "testdata/clean", "repro/internal/fixture"); len(diags) != 0 {
+		t.Fatalf("clean fixture flagged: %v", diags)
+	}
+}

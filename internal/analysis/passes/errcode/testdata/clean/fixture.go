@@ -1,0 +1,7 @@
+// Package fixture checks errcode's arming gate: with no ServiceError
+// type declared or imported, even a literal JSON error code is not this
+// analyzer's business.
+package fixture
+
+// Payload is an unrelated literal in a package without ServiceError.
+const Payload = `{"error":{"code":"internal","message":"boom"}}`

@@ -1,0 +1,29 @@
+// Package fixture exercises errcode: it declares a ServiceError-shaped
+// type (which arms the analyzer) and writes codes as literals.
+package fixture
+
+// ServiceError mirrors the serving layer's structured error.
+type ServiceError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+// CodeQueueFull is the central constant literals should reference.
+const CodeQueueFull = "queue_full"
+
+// Bad builds errors from string literals, keyed and positional.
+func Bad() []*ServiceError {
+	return []*ServiceError{
+		{Status: 503, Code: "queue_full", Message: "full"}, // want "wire error code \"queue_full\" is a string literal"
+		{429, "slow_down", "later"},                        // want "wire error code \"slow_down\" is a string literal"
+	}
+}
+
+// Inline bypasses the struct entirely with a pre-baked JSON body.
+const Inline = `{"error":{"code":"internal","message":"boom"}}` // want "inline JSON error code bypasses ServiceError"
+
+// Good references the constant and stays quiet.
+func Good() *ServiceError {
+	return &ServiceError{Status: 503, Code: CodeQueueFull, Message: "full"}
+}

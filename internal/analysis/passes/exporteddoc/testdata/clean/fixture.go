@@ -1,0 +1,24 @@
+// Package fixture lists the documentation styles exporteddoc accepts.
+package fixture
+
+// Documented carries a doc comment.
+func Documented() {}
+
+// Thing is documented on the spec.
+type Thing struct{}
+
+// Method is documented.
+func (t Thing) Method() {}
+
+// Grouped constants share the group's doc comment.
+const (
+	A = 1
+	B = 2
+)
+
+// Enum-like specs may use trailing line comments instead.
+var (
+	C = 3 // C is the third value.
+)
+
+func unexported() {}

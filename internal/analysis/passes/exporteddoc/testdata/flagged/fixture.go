@@ -1,0 +1,14 @@
+// Package fixture exercises exporteddoc: undocumented exported
+// functions, types and methods.
+package fixture
+
+func Exported() {} // want "exported function Exported is missing a doc comment"
+
+type Thing struct{} // want "exported type Thing is missing a doc comment"
+
+func (t Thing) Method() {} // want "exported method Thing.Method is missing a doc comment"
+
+type hidden struct{}
+
+// Method on an unexported type is not API surface.
+func (h hidden) Method() {}

@@ -1,0 +1,9 @@
+// Package fixture holds undocumented value specs. The expectations live
+// in the test, not in want comments: a trailing comment on a const/var
+// spec counts as documentation, so a same-line want would legalize the
+// very line it checks.
+package fixture
+
+var Undocumented = 1
+
+const Loose = 2

@@ -1,0 +1,203 @@
+// Package fragmentcontract enforces the fragment contract of
+// docs/architecture.md: a fragment declares its variables and registers
+// occupancy on caller-owned builders; only the model owner emits the
+// shared capacity rows.
+//
+// Composites superpose several collectives on one lp.Model by handing
+// every fragment the same core.OccupancyBuilder/core.ComputeBuilder and
+// flushing the builders exactly once after all fragments have
+// registered. Two mistakes break that superposition silently — the LP
+// stays solvable but stops modeling shared capacity:
+//
+//   - a fragment flushing a builder it received (each flush emits the
+//     one-port/compute rows again, so members stop sharing them);
+//   - a fragment hand-writing one-port / edge-occupation / compute rows
+//     straight into the model, bypassing the builders that merge
+//     occupancy across members.
+//
+// The analyzer flags, in every package: calls to AddConstraints on a
+// builder that is a parameter of the enclosing function (the model
+// owner constructs its builders locally), and — outside internal/core,
+// where the builders live — lp.Model.AddConstraint calls whose
+// constraint name contains the shared-row markers "oneport",
+// "edge_occ(" or "compute(".
+package fragmentcontract
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the fragmentcontract pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "fragmentcontract",
+	Doc:  "fragments register occupancy on shared builders; only the model owner flushes or emits capacity rows",
+	Run:  run,
+}
+
+// corePath is the package owning the builders (exempt from the
+// shared-row-name rule).
+const corePath = "repro/internal/core"
+
+// sharedRowMarkers are substrings of constraint names that identify the
+// builder-owned capacity rows.
+var sharedRowMarkers = []string{"oneport", "edge_occ(", "compute("}
+
+// run applies both rules to every function declaration.
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			params := paramObjects(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkBuilderFlush(pass, call, params)
+				if pass.Pkg.Path() != corePath {
+					checkHandWrittenRow(pass, call)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// paramObjects collects the objects of the function's parameters
+// (receiver included: a fragment method flushing a builder stored on
+// itself is caught by the field's receiver path being a parameter).
+func paramObjects(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	set := make(map[types.Object]bool)
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.ObjectOf(name); obj != nil {
+					set[obj] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	add(fd.Type.Params)
+	return set
+}
+
+// checkBuilderFlush flags builder.AddConstraints(...) when builder is a
+// parameter of the enclosing function.
+func checkBuilderFlush(pass *analysis.Pass, call *ast.CallExpr, params map[types.Object]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "AddConstraints" {
+		return
+	}
+	recvType := pass.TypesInfo.TypeOf(sel.X)
+	if !isBuilderType(recvType) {
+		return
+	}
+	id := rootIdent(sel.X)
+	if id == nil {
+		return
+	}
+	if obj := pass.TypesInfo.ObjectOf(id); obj != nil && params[obj] {
+		pass.Reportf(call.Pos(), "flushing a shared %s received as a parameter: fragments only register occupancy; the model owner calls AddConstraints once after all fragments", builderName(recvType))
+	}
+}
+
+// rootIdent unwraps a selector/index/pointer path (b, pr.occ, s.b[i])
+// to its root identifier.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// checkHandWrittenRow flags lp.Model.AddConstraint calls whose name
+// argument carries a shared-row marker.
+func checkHandWrittenRow(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "AddConstraint" || len(call.Args) == 0 {
+		return
+	}
+	if !isNamedType(pass.TypesInfo.TypeOf(sel.X), "repro/internal/lp", "Model") {
+		return
+	}
+	name := stringArgText(call.Args[0])
+	if name == "" {
+		return
+	}
+	for _, marker := range sharedRowMarkers {
+		if strings.Contains(name, marker) {
+			pass.Reportf(call.Pos(), "hand-written %q row bypasses the shared builders: register occupancy on core.OccupancyBuilder/ComputeBuilder instead", marker)
+			return
+		}
+	}
+}
+
+// stringArgText extracts the literal text of a constraint-name argument:
+// a plain string literal, or the format literal of a fmt.Sprintf call.
+func stringArgText(arg ast.Expr) string {
+	switch a := arg.(type) {
+	case *ast.BasicLit:
+		return a.Value
+	case *ast.CallExpr:
+		if sel, ok := a.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sprintf" && len(a.Args) > 0 {
+			if lit, ok := a.Args[0].(*ast.BasicLit); ok {
+				return lit.Value
+			}
+		}
+	case *ast.BinaryExpr:
+		return stringArgText(a.X) + stringArgText(a.Y)
+	}
+	return ""
+}
+
+// isBuilderType reports whether t is (a pointer to) core's
+// OccupancyBuilder or ComputeBuilder.
+func isBuilderType(t types.Type) bool {
+	return isNamedType(t, corePath, "OccupancyBuilder") || isNamedType(t, corePath, "ComputeBuilder")
+}
+
+// builderName renders the builder type for diagnostics.
+func builderName(t types.Type) string {
+	if isNamedType(t, corePath, "ComputeBuilder") {
+		return "ComputeBuilder"
+	}
+	return "OccupancyBuilder"
+}
+
+// isNamedType reports whether t (or its pointee) is the named type
+// pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

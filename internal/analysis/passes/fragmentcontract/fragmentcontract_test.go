@@ -1,0 +1,22 @@
+package fragmentcontract_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/fragmentcontract"
+)
+
+// TestFlagged checks parameter-builder flushes and hand-written shared
+// rows are caught.
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, fragmentcontract.Analyzer, "testdata/flagged", "repro/internal/fragfixture")
+}
+
+// TestClean checks owner-side flushes, fragment registration and
+// fragment-owned rows stay quiet.
+func TestClean(t *testing.T) {
+	if diags := analysistest.Diagnostics(t, fragmentcontract.Analyzer, "testdata/clean", "repro/internal/fragfixture"); len(diags) != 0 {
+		t.Fatalf("clean fixture flagged: %v", diags)
+	}
+}

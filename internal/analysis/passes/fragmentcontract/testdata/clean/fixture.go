@@ -1,0 +1,32 @@
+// Package fixture lists the builder usages fragmentcontract must
+// accept.
+package fixture
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lp"
+	"repro/internal/rat"
+)
+
+// Owner constructs its own builder and flushes it once — the model
+// owner's job.
+func Owner(p *graph.Platform, from, to graph.NodeID) *lp.Model {
+	m := lp.NewMaximize()
+	occ := core.NewOccupancy(p)
+	occ.Add(from, to, m.Var("x"), rat.One())
+	occ.AddConstraints(m)
+	return m
+}
+
+// Register is a well-behaved fragment: it only registers occupancy on
+// the builder it received.
+func Register(occ *core.OccupancyBuilder, from, to graph.NodeID, v lp.Var) {
+	occ.Add(from, to, v, rat.One())
+}
+
+// Conservation rows are fragment-owned, not builder-owned; writing them
+// directly is the contract.
+func Conservation(m *lp.Model, v lp.Var) {
+	m.AddConstraint("conserve(A,m_B)", lp.NewExpr().Plus(rat.One(), v), lp.Eq, rat.Zero())
+}

@@ -1,0 +1,36 @@
+// Package fixture exercises fragmentcontract: a fragment flushing a
+// shared builder it received, and hand-written shared-capacity rows.
+// The fixture imports the real core and lp packages so the type checks
+// are the same ones the repository faces.
+package fixture
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lp"
+	"repro/internal/rat"
+)
+
+// Fragment registers occupancy correctly and then wrongly flushes the
+// builder it was handed.
+func Fragment(m *lp.Model, occ *core.OccupancyBuilder, from, to graph.NodeID) {
+	v := m.Var("x")
+	occ.Add(from, to, v, rat.One())
+	occ.AddConstraints(m) // want "flushing a shared OccupancyBuilder received as a parameter"
+}
+
+// Compute does the same with the compute builder.
+func Compute(m *lp.Model, cb *core.ComputeBuilder, node graph.NodeID) {
+	cb.Add(node, m.Var("w"), rat.One())
+	cb.AddConstraints(m) // want "flushing a shared ComputeBuilder received as a parameter"
+}
+
+// HandRows writes builder-owned capacity rows straight into the model.
+func HandRows(m *lp.Model, v lp.Var, n int) {
+	expr := lp.NewExpr().Plus(rat.One(), v)
+	m.AddConstraint("oneport_out(A)", expr, lp.Leq, rat.One())               // want "hand-written \"oneport\" row"
+	m.AddConstraint(fmt.Sprintf("edge_occ(%d)", n), expr, lp.Leq, rat.One()) // want "hand-written \"edge_occ\\(\" row"
+	m.AddConstraint("compute("+"A)", expr, lp.Leq, rat.One())                // want "hand-written \"compute\\(\" row"
+}

@@ -1,0 +1,241 @@
+// Package mapdeterminism flags map iteration whose order can leak into
+// observable output.
+//
+// Go randomizes map iteration order on purpose, and this repository's
+// correctness story leans on byte-identical output everywhere: golden
+// sweep reports, solverd's cache-hit identity, CI's served-vs-swept
+// diff, JSONL shard logs that must union deterministically. A `range`
+// over a map is fine while the loop body only does order-insensitive
+// work (summing into an accumulator, filling another map); it becomes a
+// determinism bug the moment the body appends to a slice that escapes
+// the loop, or writes to a writer/encoder, without the order being
+// re-established afterwards.
+//
+// The analyzer flags a range-over-map statement when its body
+//
+//   - appends to a slice declared outside the loop, unless a later
+//     statement in the same function sorts that slice (the
+//     collect-keys-then-sort idiom, via sort.* or slices.*), or
+//   - calls a write/print/encode method (Write, WriteString, Encode,
+//     Fprintf, ...) — output emitted during map iteration cannot be
+//     fixed up afterwards.
+//
+// Genuinely order-insensitive accumulations the heuristic cannot see
+// through (e.g. feeding an LCM or a max) carry a //sslint:allow
+// directive naming the consumer that makes the order irrelevant.
+package mapdeterminism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the mapdeterminism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapdeterminism",
+	Doc:  "flag map iteration feeding slices or writers without a later sort",
+	Run:  run,
+}
+
+// writeMethods are callee names whose invocation inside a map-range
+// body means iteration order reached an output stream.
+var writeMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Encode":      true,
+	"Fprint":      true,
+	"Fprintf":     true,
+	"Fprintln":    true,
+	"Print":       true,
+	"Printf":      true,
+	"Println":     true,
+}
+
+// run flags every offending range-over-map statement in the package.
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		f := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if ok && isMapType(pass.TypesInfo.TypeOf(rs.X)) {
+				checkMapRange(pass, f, rs)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one map-range body for order leaks. Nested
+// map-range statements are skipped — they are visited (and reported)
+// on their own — while nested slice loops and function literals are
+// walked, since they run per iteration.
+func checkMapRange(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n != rs && isMapType(pass.TypesInfo.TypeOf(n.X)) {
+				return false
+			}
+		case *ast.AssignStmt:
+			checkAppends(pass, file, rs, n)
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && writeMethods[sel.Sel.Name] {
+				pass.Reportf(n.Pos(), "%s called while ranging over a map: output order is nondeterministic; iterate sorted keys instead", sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkAppends flags assignments inside a map-range body that append to
+// a slice declared outside the loop, unless the slice is sorted later
+// in the enclosing function.
+func checkAppends(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
+			continue
+		}
+		id := rootIdent(as.Lhs[i])
+		if id == nil {
+			continue
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil || !declaredOutside(obj, rs) {
+			continue
+		}
+		if sortedAfter(pass, file, rs, obj) {
+			continue
+		}
+		pass.Reportf(as.Pos(), "append to %s while ranging over a map: element order is nondeterministic; sort %s afterwards, iterate sorted keys, or //sslint:allow with the order-insensitive consumer", obj.Name(), obj.Name())
+	}
+}
+
+// isBuiltinAppend reports whether the call invokes the predeclared
+// append.
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && id.Name == "append"
+}
+
+// rootIdent unwraps an assignable expression (x, x.f, x[i]) to its root
+// identifier.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj's declaration lies outside the
+// range statement's span.
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos() || obj.Pos() >= rs.End()
+}
+
+// sortedAfter reports whether, after the range statement and within its
+// enclosing function, a sort.* or slices.* call mentions obj — the
+// collect-then-sort idiom that restores determinism.
+func sortedAfter(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt, obj types.Object) bool {
+	fn := enclosingFunc(file, rs.Pos())
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if isSortCall(pass, call) && mentionsObject(pass, call, obj) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// enclosingFunc returns the innermost function declaration or literal
+// containing pos.
+func enclosingFunc(file *ast.File, pos token.Pos) ast.Node {
+	var best ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if n.Pos() <= pos && pos < n.End() {
+				best = n // inner nodes visited later override outer ones
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// isSortCall reports whether the call targets package sort or slices.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	path := pkg.Imported().Path()
+	return path == "sort" || path == "slices"
+}
+
+// mentionsObject reports whether any argument of the call references
+// obj.
+func mentionsObject(pass *analysis.Pass, call *ast.CallExpr, obj types.Object) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+				found = true
+				return false
+			}
+			return !found
+		})
+	}
+	return found
+}

@@ -1,0 +1,22 @@
+package mapdeterminism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/mapdeterminism"
+)
+
+// TestFlagged checks unsorted appends and mid-iteration writes are
+// caught.
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, mapdeterminism.Analyzer, "testdata/flagged", "repro/internal/fixture")
+}
+
+// TestClean checks the sanctioned shapes (collect-then-sort, pure
+// accumulation, map fills, slice ranges) stay quiet.
+func TestClean(t *testing.T) {
+	if diags := analysistest.Diagnostics(t, mapdeterminism.Analyzer, "testdata/clean", "repro/internal/fixture"); len(diags) != 0 {
+		t.Fatalf("clean fixture flagged: %v", diags)
+	}
+}

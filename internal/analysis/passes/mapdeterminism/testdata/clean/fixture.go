@@ -1,0 +1,53 @@
+// Package fixture lists the map-range shapes mapdeterminism must accept.
+package fixture
+
+import "sort"
+
+// SortedKeys collects then sorts — the sanctioned idiom.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sum accumulates order-insensitively without appending.
+func Sum(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// Invert fills another map; iteration order never escapes.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// FromSlice appends while ranging over a slice — not a map, not flagged.
+func FromSlice(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// LocalScratch appends to a slice declared inside the loop body; the
+// order cannot escape an iteration.
+func LocalScratch(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var scratch []int
+		scratch = append(scratch, vs...)
+		total += len(scratch)
+	}
+	return total
+}

@@ -1,0 +1,35 @@
+// Package fixture exercises mapdeterminism: appends and writes inside
+// map-range bodies with no rescue sort.
+package fixture
+
+import (
+	"fmt"
+	"io"
+)
+
+// Keys collects map keys and never re-establishes an order.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out while ranging over a map"
+	}
+	return out
+}
+
+// Dump emits output mid-iteration; no later fix-up is possible.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "Fprintf called while ranging over a map"
+	}
+}
+
+// Nested ranges a map inside a slice loop; the leak is still flagged.
+func Nested(ms []map[string]int) []string {
+	var out []string
+	for _, m := range ms {
+		for k := range m {
+			out = append(out, k) // want "append to out while ranging over a map"
+		}
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+package ratfloat_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/ratfloat"
+)
+
+// TestFlaggedInScope checks every float idiom is caught when the fixture
+// poses as a package under internal/lp.
+func TestFlaggedInScope(t *testing.T) {
+	analysistest.Run(t, ratfloat.Analyzer, "testdata/flagged", "repro/internal/lp/fixture")
+}
+
+// TestFlaggedFixtureQuietOutOfScope re-checks the same violations under
+// a neutral import path: the scope gate must silence all of them.
+func TestFlaggedFixtureQuietOutOfScope(t *testing.T) {
+	diags := analysistest.Diagnostics(t, ratfloat.Analyzer, "testdata/flagged", "repro/internal/tools/fixture")
+	for _, d := range diags {
+		if d.Analyzer == "ratfloat" {
+			t.Errorf("out-of-scope package flagged: %s", d)
+		}
+	}
+}
+
+// TestCleanOutOfScope checks the clean fixture stays quiet.
+func TestCleanOutOfScope(t *testing.T) {
+	if diags := analysistest.Diagnostics(t, ratfloat.Analyzer, "testdata/clean", "repro/internal/tools/fixture"); len(diags) != 0 {
+		t.Fatalf("clean fixture flagged: %v", diags)
+	}
+}

@@ -1,0 +1,14 @@
+// Package fixture exercises ratfloat's scope gate: the same float-heavy
+// code type-checked under a neutral import path must produce no
+// findings.
+package fixture
+
+// Sum is floating-point, but this package is outside the exact-rational
+// scope.
+func Sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

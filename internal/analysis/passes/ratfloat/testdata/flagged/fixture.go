@@ -1,0 +1,28 @@
+// Package fixture exercises ratfloat: this file is type-checked under an
+// import path inside internal/lp, where floats are forbidden.
+package fixture
+
+import "math"
+
+// Mean is the kind of float computation the exact packages must not
+// contain.
+func Mean(xs []int) float64 { // want "use of float64"
+	total := 0.0 // want "floating-point literal 0.0"
+	for _, x := range xs {
+		total += float64(x) // want "use of float64"
+	}
+	return total / math.Sqrt(float64(len(xs))) // want "package math is floating-point" "use of float64"
+}
+
+// Half is a float literal in a declaration.
+var Half float32 = 0.5 // want "use of float32" "floating-point literal 0.5"
+
+// Capacity uses math.MaxInt, which is an exact integer constant and
+// stays legal.
+func Capacity() int { return math.MaxInt }
+
+// Density is outbound telemetry: the directive suppresses both findings
+// on the line.
+func Density(nz, area int) float64 { //sslint:allow outbound telemetry only
+	return float64(nz) / float64(area) //sslint:allow outbound telemetry only
+}

@@ -1,0 +1,77 @@
+// run.go is the driver: load packages, run every analyzer over every
+// package, apply //sslint:allow suppression, and return the surviving
+// diagnostics sorted by position.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run loads the packages matching patterns from the module at dir and
+// applies every analyzer to every package. It returns the diagnostics
+// that survive //sslint:allow suppression — plus one diagnostic per
+// bare (reason-less) allow directive — sorted by file, line and column.
+// A non-nil error means the analysis itself could not run (load or
+// type-check failure, analyzer crash), not that findings exist.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	loader := NewLoader(dir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// RunPackage applies the analyzers to one loaded package and returns
+// the unsuppressed diagnostics (unsorted). analysistest uses it to run
+// a single analyzer over a fixture package.
+func RunPackage(pkg *LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allows := collectAllows(pkg.Fset, pkg.Files)
+	diags := allows.bareDirectives(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+		}
+		pass.report = func(d Diagnostic) {
+			if !allows.allowed(d.Pos) {
+				diags = append(diags, d)
+			}
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	return diags, nil
+}
+
+// sortDiagnostics orders diagnostics by file, line, column, then
+// analyzer name, for stable output.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

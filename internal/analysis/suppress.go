@@ -1,0 +1,100 @@
+// suppress.go implements the //sslint:allow suppression directive: a
+// finding is dropped when the flagged line, or the line directly above
+// it, carries an allow directive with a non-empty reason. Bare
+// directives are themselves findings — a suppression without a recorded
+// reason is exactly the kind of silent convention the suite exists to
+// remove.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowDirective is the comment prefix of a suppression.
+const allowDirective = "sslint:allow"
+
+// allowSet records, per file and line, the reason of an allow directive
+// (empty string for a bare directive).
+type allowSet map[string]map[int]string
+
+// collectAllows scans a package's comments for allow directives.
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	set := make(allowSet)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := directiveText(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]string)
+					set[pos.Filename] = lines
+				}
+				lines[pos.Line] = strings.TrimSpace(text)
+			}
+		}
+	}
+	return set
+}
+
+// directiveText reports whether the comment is an allow directive and
+// returns the text after the directive name (the reason).
+func directiveText(comment string) (string, bool) {
+	// Directive comments use the //-style with no space before the
+	// name, like //go:build and //nolint.
+	body, ok := strings.CutPrefix(comment, "//")
+	if !ok {
+		return "", false
+	}
+	rest, ok := strings.CutPrefix(strings.TrimSpace(body), allowDirective)
+	if !ok {
+		return "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. //sslint:allowance
+	}
+	return rest, true
+}
+
+// allowed reports whether a diagnostic at pos is suppressed: an allow
+// directive with a non-empty reason sits on the same line or the line
+// directly above.
+func (s allowSet) allowed(pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if reason, ok := lines[line]; ok && reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// bareDirectives returns a diagnostic for every allow directive whose
+// reason is empty, in file order.
+func (s allowSet) bareDirectives(fset *token.FileSet, files []*ast.File) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := directiveText(c.Text)
+				if !ok || strings.TrimSpace(text) != "" {
+					continue
+				}
+				out = append(out, Diagnostic{
+					Pos:      fset.Position(c.Pos()),
+					Analyzer: "sslint",
+					Message:  "//sslint:allow without a reason: say why the invariant does not apply here",
+				})
+			}
+		}
+	}
+	return out
+}

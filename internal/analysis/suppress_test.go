@@ -1,0 +1,28 @@
+package analysis
+
+import "testing"
+
+// TestDirectiveText pins the directive syntax: //sslint:allow with or
+// without a reason, no false match on longer names or non-directive
+// comments.
+func TestDirectiveText(t *testing.T) {
+	cases := []struct {
+		comment string
+		reason  string
+		ok      bool
+	}{
+		{"//sslint:allow density is telemetry", " density is telemetry", true},
+		{"// sslint:allow density is telemetry", " density is telemetry", true},
+		{"//sslint:allow", "", true},
+		{"//sslint:allow\t tabbed reason", "\t tabbed reason", true},
+		{"//sslint:allowance not a directive", "", false},
+		{"// plain comment", "", false},
+		{"/* block */", "", false},
+	}
+	for _, c := range cases {
+		reason, ok := directiveText(c.comment)
+		if ok != c.ok || reason != c.reason {
+			t.Errorf("directiveText(%q) = (%q, %v), want (%q, %v)", c.comment, reason, ok, c.reason, c.ok)
+		}
+	}
+}

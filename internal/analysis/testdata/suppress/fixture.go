@@ -1,0 +1,21 @@
+// Package fixture exercises the //sslint:allow directive: same-line and
+// line-above suppressions with reasons work, a bare directive suppresses
+// nothing and is itself a finding.
+package fixture
+
+// Keys triggers mapdeterminism three times; two carry reasoned allows.
+func Keys(m map[string]int) ([]string, []string, []string) {
+	var a, b, c []string
+	for k := range m {
+		a = append(a, k) //sslint:allow fixture: order-insensitive consumer
+	}
+	for k := range m {
+		//sslint:allow fixture: order-insensitive consumer
+		b = append(b, k)
+	}
+	for k := range m {
+		//sslint:allow
+		c = append(c, k)
+	}
+	return a, b, c
+}

@@ -228,7 +228,7 @@ func (f *Flow[C]) AllRates() []rat.Rat {
 	out := []rat.Rat{rat.Copy(f.Throughput)}
 	for _, m := range f.Sends {
 		for _, r := range m {
-			out = append(out, rat.Copy(r))
+			out = append(out, rat.Copy(r)) //sslint:allow order-insensitive: rates feed DenominatorLCM
 		}
 	}
 	return out

@@ -28,7 +28,7 @@ type FlowStats struct {
 	// the sparse tableau exploits (per-pivot cost scales with row nonzeros,
 	// not columns).
 	NonZeros int
-	Density  float64
+	Density  float64 //sslint:allow outbound telemetry only: density never enters solver arithmetic
 	// Pivots is the total simplex pivot count; Phase1Pivots is the share
 	// spent finding a feasible basis. Together they let sweep aggregates
 	// track solver cost, not just throughput.
@@ -272,7 +272,7 @@ func cancelOneCycle[C comparable](f *Flow[C], c C) bool {
 	rate := make(map[EdgeKey]rat.Rat)
 	for k, m := range f.Sends {
 		if r, ok := m[c]; ok && r.Sign() > 0 {
-			adj[k.From] = append(adj[k.From], k.To)
+			adj[k.From] = append(adj[k.From], k.To) //sslint:allow order-insensitive: every adjacency list is sorted just below
 			rate[k] = r
 		}
 	}

@@ -336,7 +336,7 @@ type Stats struct {
 	Vars        int
 	Constraints int
 	NonZeros    int
-	Density     float64
+	Density     float64 //sslint:allow outbound telemetry only: density never enters solver arithmetic
 }
 
 // Stats returns the model's current size and sparsity.
@@ -346,7 +346,7 @@ func (m *Model) Stats() Stats {
 		s.NonZeros += len(c.Expr)
 	}
 	if area := s.Vars * s.Constraints; area > 0 {
-		s.Density = float64(s.NonZeros) / float64(area)
+		s.Density = float64(s.NonZeros) / float64(area) //sslint:allow outbound telemetry only: density never enters solver arithmetic
 	}
 	return s
 }

@@ -627,7 +627,7 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 func values[K comparable, V any](m map[K]V) []V {
 	out := make([]V, 0, len(m))
 	for _, v := range m {
-		out = append(out, v)
+		out = append(out, v) //sslint:allow order-insensitive by contract: sole consumer is DenominatorLCM
 	}
 	return out
 }

@@ -276,10 +276,10 @@ func (s *Solution) Throughput() rat.Rat { return rat.Copy(s.TP) }
 func (s *Solution) Period() *big.Int {
 	rates := []rat.Rat{rat.Copy(s.TP)}
 	for _, r := range s.Sends {
-		rates = append(rates, rat.Copy(r))
+		rates = append(rates, rat.Copy(r)) //sslint:allow order-insensitive: rates feed DenominatorLCM
 	}
 	for _, r := range s.Tasks {
-		rates = append(rates, rat.Copy(r))
+		rates = append(rates, rat.Copy(r)) //sslint:allow order-insensitive: rates feed DenominatorLCM
 	}
 	return rat.DenominatorLCM(rates...)
 }

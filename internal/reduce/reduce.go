@@ -420,10 +420,10 @@ func (s *Solution) Throughput() rat.Rat { return rat.Copy(s.TP) }
 func (s *Solution) AllRates() []rat.Rat {
 	out := []rat.Rat{rat.Copy(s.TP)}
 	for _, r := range s.Sends {
-		out = append(out, rat.Copy(r))
+		out = append(out, rat.Copy(r)) //sslint:allow order-insensitive: rates feed DenominatorLCM
 	}
 	for _, r := range s.Tasks {
-		out = append(out, rat.Copy(r))
+		out = append(out, rat.Copy(r)) //sslint:allow order-insensitive: rates feed DenominatorLCM
 	}
 	return out
 }

@@ -278,7 +278,7 @@ func (s *BroadcastSolution) Throughput() rat.Rat { return rat.Copy(s.TP) }
 func (s *BroadcastSolution) AllRates() []rat.Rat {
 	out := s.Flow.AllRates()
 	for _, r := range s.Carry {
-		out = append(out, rat.Copy(r))
+		out = append(out, rat.Copy(r)) //sslint:allow order-insensitive: rates feed DenominatorLCM
 	}
 	return out
 }

@@ -95,6 +95,19 @@ func FromFlow[C comparable](flow *core.Flow[C], sizeOf func(C) rat.Rat, label fu
 			})
 		}
 	}
+	// flow.Sends iteration is map-ordered; the matching decomposition is
+	// order-sensitive (which matching is extracted first decides the slot
+	// layout), so sort before assembling to keep schedules reproducible.
+	sort.Slice(transfers, func(i, j int) bool {
+		a, b := transfers[i], transfers[j]
+		if a.Sender != b.Sender {
+			return a.Sender < b.Sender
+		}
+		if a.Receiver != b.Receiver {
+			return a.Receiver < b.Receiver
+		}
+		return a.Payload.(payload).label < b.Payload.(payload).label
+	})
 	return assemble(flow.Platform, period, transfers, nil, nNodes)
 }
 

@@ -56,6 +56,38 @@ func TestPaperFig4Schedule(t *testing.T) {
 	t.Log("\n" + sched.Gantt())
 }
 
+// TestFromFlowDeterministic pins the mapdeterminism fix: FromFlow feeds
+// the order-sensitive matching decomposition from a map range — when one
+// edge carries several equal-weight message types, the decomposition's
+// tie-break follows insertion (i.e. map iteration) order, so without the
+// sort the slot layout varied run to run. Building the same schedule
+// repeatedly must yield identical slot sequences.
+func TestFromFlowDeterministic(t *testing.T) {
+	build := func() string {
+		p := graph.New()
+		a := p.AddNode("A", rat.One())
+		b := p.AddNode("B", rat.One())
+		p.AddEdge(a, b, rat.One())
+		flow := core.NewFlow[string](p)
+		flow.Throughput = rat.New(1, 4)
+		for _, label := range []string{"w", "x", "y", "z"} {
+			flow.SetSend(a, b, label, rat.New(1, 4))
+		}
+		sched, err := FromFlow(flow, func(string) rat.Rat { return rat.One() },
+			func(c string) string { return c })
+		if err != nil {
+			t.Fatalf("FromFlow: %v", err)
+		}
+		return sched.Gantt()
+	}
+	ref := build()
+	for i := 0; i < 8; i++ {
+		if got := build(); got != ref {
+			t.Fatalf("schedule differs between identical builds (iteration %d):\n--- first\n%s\n--- now\n%s", i, ref, got)
+		}
+	}
+}
+
 func TestUnsplitProducesWholeMessages(t *testing.T) {
 	_, sched := fig2Schedule(t)
 	un := sched.Unsplit()

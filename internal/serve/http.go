@@ -41,7 +41,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	if err != nil {
 		// Unreachable for the fixed response types; keep the connection
 		// coherent anyway.
-		fmt.Fprintf(w, `{"error":{"code":"internal","message":%q}}`+"\n", err.Error())
+		fmt.Fprintf(w, `{"error":{"code":%q,"message":%q}}`+"\n", CodeInternal, err.Error())
 		return
 	}
 	w.Write(append(data, '\n'))
@@ -57,7 +57,7 @@ type errorBody struct {
 func writeError(w http.ResponseWriter, err error) {
 	var se *ServiceError
 	if !errors.As(err, &se) {
-		se = &ServiceError{Status: 500, Code: "internal", Message: err.Error()}
+		se = &ServiceError{Status: 500, Code: CodeInternal, Message: err.Error()}
 	}
 	if se.Status == 503 {
 		// Backpressure responses tell clients when to come back.
@@ -74,7 +74,7 @@ func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 	}
 	w.Header().Set("Allow", method)
 	writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: &ServiceError{
-		Code:    "method_not_allowed",
+		Code:    CodeMethodNotAllowed,
 		Message: fmt.Sprintf("%s requires %s", r.URL.Path, method),
 	}})
 	return false

@@ -121,20 +121,45 @@ type ServiceError struct {
 // Error implements the error interface.
 func (e *ServiceError) Error() string { return e.Code + ": " + e.Message }
 
+// The stable wire error codes. These are API: clients key retry logic
+// off CodeQueueFull vs CodeDraining and monitoring keys off
+// CodeUnsolvable vs CodeInternal, so every code written to the wire
+// must be one of these constants (the errcode analyzer enforces it).
+const (
+	// CodeBadScenario rejects a request whose scenario fails validation.
+	CodeBadScenario = "bad_scenario"
+	// CodeBodyTooLarge rejects a request body over MaxBodyBytes.
+	CodeBodyTooLarge = "body_too_large"
+	// CodeQueueFull refuses admission when the queue is at capacity.
+	CodeQueueFull = "queue_full"
+	// CodeDeadlineExceeded reports a request deadline hit while queued
+	// or solving.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeUnsolvable reports a problem-level solver failure (the
+	// client's scenario, not the server).
+	CodeUnsolvable = "unsolvable"
+	// CodeInternal reports an unrecognized server fault.
+	CodeInternal = "internal"
+	// CodeDraining refuses admission during graceful shutdown.
+	CodeDraining = "draining"
+	// CodeMethodNotAllowed rejects a request with the wrong HTTP method.
+	CodeMethodNotAllowed = "method_not_allowed"
+)
+
 // The structured error constructors, one per failure class.
 func errBadScenario(err error) *ServiceError {
-	return &ServiceError{Status: 400, Code: "bad_scenario", Message: err.Error()}
+	return &ServiceError{Status: 400, Code: CodeBadScenario, Message: err.Error()}
 }
 func errBodyTooLarge(limit int64) *ServiceError {
-	return &ServiceError{Status: 413, Code: "body_too_large",
+	return &ServiceError{Status: 413, Code: CodeBodyTooLarge,
 		Message: fmt.Sprintf("request body exceeds %d bytes", limit)}
 }
 func errQueueFull(depth int) *ServiceError {
-	return &ServiceError{Status: 503, Code: "queue_full",
+	return &ServiceError{Status: 503, Code: CodeQueueFull,
 		Message: fmt.Sprintf("admission queue full (%d scenarios deep); retry later", depth)}
 }
 func errDeadline() *ServiceError {
-	return &ServiceError{Status: 504, Code: "deadline_exceeded",
+	return &ServiceError{Status: 504, Code: CodeDeadlineExceeded,
 		Message: "request deadline exceeded while queued or solving"}
 }
 
@@ -148,12 +173,12 @@ func errSolve(err error) *ServiceError {
 	if errors.Is(err, steadystate.ErrUnsolvable) ||
 		errors.Is(err, steadystate.ErrUnsupported) ||
 		errors.Is(err, lp.ErrInfeasible) || errors.Is(err, lp.ErrUnbounded) {
-		return &ServiceError{Status: 400, Code: "unsolvable", Message: err.Error()}
+		return &ServiceError{Status: 400, Code: CodeUnsolvable, Message: err.Error()}
 	}
-	return &ServiceError{Status: 500, Code: "internal", Message: err.Error()}
+	return &ServiceError{Status: 500, Code: CodeInternal, Message: err.Error()}
 }
 func errDraining() *ServiceError {
-	return &ServiceError{Status: 503, Code: "draining",
+	return &ServiceError{Status: 503, Code: CodeDraining,
 		Message: "server is draining; no new scenarios admitted"}
 }
 

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/gossip"
@@ -45,7 +46,21 @@ func flowModel(flow *core.Flow[core.Commodity]) *Model {
 			}
 		}
 	}
+	// The replay's per-period effects are commutative, but a canonical
+	// transfer order keeps models comparable and traces reproducible.
+	sort.Slice(m.Transfers, func(i, j int) bool { return transferLess(m.Transfers[i], m.Transfers[j]) })
 	return m
+}
+
+// transferLess orders transfers by (from, to, type) for canonical models.
+func transferLess(a, b Transfer) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	if a.To != b.To {
+		return a.To < b.To
+	}
+	return a.Type < b.Type
 }
 
 // ScatterModel builds the simulation model of a scatter solution.
@@ -110,5 +125,18 @@ func ReduceModel(app *reduce.Application) *Model {
 			Order:    k.T.Result().Len(),
 		})
 	}
+	// Canonical order: the replay sorts rules by Order and same-Order
+	// rules are independent, but deterministic models diff cleanly.
+	sort.Slice(m.Transfers, func(i, j int) bool { return transferLess(m.Transfers[i], m.Transfers[j]) })
+	sort.Slice(m.Rules, func(i, j int) bool {
+		a, b := m.Rules[i], m.Rules[j]
+		if a.Order != b.Order {
+			return a.Order < b.Order
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Produces < b.Produces
+	})
 	return m
 }
