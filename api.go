@@ -18,6 +18,7 @@ import (
 	"repro/internal/composite"
 	"repro/internal/gossip"
 	"repro/internal/lp"
+	"repro/internal/obs"
 	"repro/internal/prefix"
 	"repro/internal/rat"
 	"repro/internal/reduce"
@@ -349,6 +350,7 @@ type solveOptions struct {
 	blockSize   Rat
 	fixedPeriod *big.Int
 	denseLP     bool
+	trace       bool
 }
 
 // WithMessageSize sets a uniform partial-result size for reduce and
@@ -375,6 +377,20 @@ func WithBlockSize(size Rat) SolveOption {
 // Report includes the approximation's throughput and loss.
 func WithFixedPeriod(period *big.Int) SolveOption {
 	return func(o *solveOptions) { o.fixedPeriod = new(big.Int).Set(period) }
+}
+
+// WithTrace records a span-structured trace of the solve — model
+// assembly, reachability indexing, simplex phases with pivot-level
+// counters, and extraction — and attaches it as Report().Trace. The
+// trace's structure and attributes are deterministic (exact counters and
+// rational strings); wall-clock measurements are segregated into each
+// span's timing block, so traces compare byte-for-byte after
+// Trace.WithoutTiming, exactly like SweepReport. Tracing is valid for
+// every kind. Without this option the solver runs allocation-free
+// through the pivot loop — the instrumentation costs one nil check per
+// pivot.
+func WithTrace() SolveOption {
+	return func(o *solveOptions) { o.trace = true }
 }
 
 // WithDenseLP solves on the dense simplex tableau instead of the sparse
@@ -540,7 +556,22 @@ func (s *Solver) Platform() *Platform { return s.p }
 // the solution and surfaced as Report().SolveMS, so sweep drivers can
 // aggregate solver cost without timing every call themselves.
 func (s *Solver) Solve(ctx context.Context, spec Spec, opts ...SolveOption) (Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
+	// Peek the trace flag before option validation so the tracer can root
+	// the span tree around the whole solve, including model assembly.
+	var peek solveOptions
+	for _, opt := range opts {
+		opt(&peek)
+	}
+	var tracer *obs.Tracer
+	if peek.trace {
+		tracer = obs.NewTracer("solve")
+		tracer.Root().SetAttr("kind", string(spec.Kind))
+		ctx = obs.WithTracer(ctx, tracer)
+	}
 	sol, err := s.solve(ctx, spec, opts...)
 	if err != nil {
 		return nil, err
@@ -548,13 +579,15 @@ func (s *Solver) Solve(ctx context.Context, spec Spec, opts ...SolveOption) (Sol
 	if t, ok := sol.(durationRecorder); ok {
 		t.setSolveDuration(time.Since(start))
 	}
+	if tracer != nil {
+		if t, ok := sol.(traceRecorder); ok {
+			t.setTrace(tracer.Finish())
+		}
+	}
 	return sol, nil
 }
 
 func (s *Solver) solve(ctx context.Context, spec Spec, opts ...SolveOption) (Solution, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	o, err := optionsFor(spec.Kind, opts)
 	if err != nil {
 		return nil, unsolvable(err)
@@ -744,8 +777,20 @@ type durationRecorder interface{ setSolveDuration(time.Duration) }
 func (t *timed) setSolveDuration(d time.Duration) { t.dur = d }
 func (t *timed) solveMS() float64                 { return float64(t.dur) / float64(time.Millisecond) }
 
+// traced stores the span-structured trace of the Solve call that produced
+// a solution (nil unless the call used WithTrace); every kind-specific
+// solution embeds it so Report can carry the trace.
+type traced struct{ trace *obs.Trace }
+
+// traceRecorder is satisfied by all kind-specific solutions via the
+// embedded traced.
+type traceRecorder interface{ setTrace(*obs.Trace) }
+
+func (t *traced) setTrace(tr *obs.Trace) { t.trace = tr }
+
 type scatterSolution struct {
 	timed
+	traced
 	spec Spec
 	sol  *ScatterSolution
 }
@@ -762,11 +807,13 @@ func (s *scatterSolution) String() string               { return s.sol.String() 
 func (s *scatterSolution) Report() (*Report, error) {
 	r := newReport(KindScatter, s.sol.Throughput(), s.sol.Period(), s.sol.Stats)
 	r.SolveMS = s.solveMS()
+	r.Trace = s.trace
 	return r, nil
 }
 
 type broadcastSolution struct {
 	timed
+	traced
 	spec Spec
 	sol  *BroadcastSolution
 }
@@ -788,11 +835,13 @@ func (s *broadcastSolution) String() string { return s.sol.String() }
 func (s *broadcastSolution) Report() (*Report, error) {
 	r := newReport(KindBroadcast, s.sol.Throughput(), s.sol.Period(), s.sol.Stats)
 	r.SolveMS = s.solveMS()
+	r.Trace = s.trace
 	return r, nil
 }
 
 type gossipSolution struct {
 	timed
+	traced
 	spec Spec
 	sol  *GossipSolution
 }
@@ -809,11 +858,13 @@ func (s *gossipSolution) String() string               { return s.sol.String() }
 func (s *gossipSolution) Report() (*Report, error) {
 	r := newReport(KindGossip, s.sol.Throughput(), s.sol.Period(), s.sol.Stats)
 	r.SolveMS = s.solveMS()
+	r.Trace = s.trace
 	return r, nil
 }
 
 type reduceSolution struct {
 	timed
+	traced
 	spec  Spec
 	sol   *ReduceSolution
 	fixed *big.Int
@@ -881,6 +932,7 @@ func (s *reduceSolution) Report() (*Report, error) {
 	}
 	r := newReport(s.spec.Kind, s.sol.Throughput(), s.sol.Period(), s.sol.Stats)
 	r.SolveMS = s.solveMS()
+	r.Trace = s.trace
 	r.Trees = len(s.trees)
 	if s.plan != nil {
 		r.FixedPeriod = s.plan.Period.String()
@@ -892,6 +944,7 @@ func (s *reduceSolution) Report() (*Report, error) {
 
 type prefixSolution struct {
 	timed
+	traced
 	spec Spec
 	sol  *PrefixSolution
 }
@@ -912,6 +965,7 @@ func (s *prefixSolution) SimModel() (*SimModel, error) {
 func (s *prefixSolution) Report() (*Report, error) {
 	r := newReport(KindPrefix, s.sol.Throughput(), s.sol.Period(), s.sol.Stats)
 	r.SolveMS = s.solveMS()
+	r.Trace = s.trace
 	return r, nil
 }
 
@@ -925,6 +979,7 @@ type Concurrent interface {
 
 type compositeSolution struct {
 	timed
+	traced
 	spec        Spec
 	memberSpecs []Spec
 	sol         *composite.Solution
@@ -978,6 +1033,7 @@ func (s *compositeSolution) Members() []Solution {
 func (s *compositeSolution) Report() (*Report, error) {
 	r := newReport(s.spec.Kind, s.sol.TP, s.sol.Period(), s.sol.Stats)
 	r.SolveMS = s.solveMS()
+	r.Trace = s.trace
 	for i, ms := range s.sol.Members {
 		mr := newReport(s.memberSpecs[i].Kind, ms.Throughput, ms.Period(), s.sol.Stats)
 		mr.Weight = ms.Weight.RatString()

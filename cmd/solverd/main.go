@@ -11,18 +11,23 @@
 //	solverd -addr 127.0.0.1:9090 -workers 8  # bind elsewhere, size the pool
 //	solverd -queue 128 -cache 4096           # deeper queue, bigger report cache
 //	solverd -timeout 1m -max-timeout 5m      # default and maximum per-request deadline
+//	solverd -log-format json -log-level info # structured slog request logs on stderr
+//	solverd -debug-addr 127.0.0.1:6060       # net/http/pprof on a separate listener
 //
 // Endpoints:
 //
 //	POST /solve   one Scenario JSON body in, the solved Report out.
 //	              ?timeout=30s bounds the solve; a report-cache hit skips
-//	              the LP entirely (X-Cache: hit). Errors are structured
-//	              JSON: 400 malformed, 413 oversized, 503 queue full,
-//	              504 deadline exceeded.
+//	              the LP entirely (X-Cache: hit). ?trace=1 embeds the
+//	              span-structured solve trace in the Report, carrying the
+//	              request's X-Request-ID as its trace ID; a traced cache
+//	              hit replays the cold solve's trace marked "replayed".
+//	              Errors are structured JSON: 400 malformed, 413
+//	              oversized, 503 queue full, 504 deadline exceeded.
 //	POST /sweep   JSONL in (one Scenario per line, or {"name":…,
 //	              "scenario":{…}}), JSONL out — one sweep record per line
 //	              in completion order, the same record format cmd/sweep
-//	              streams with -jsonl.
+//	              streams with -jsonl. ?trace=1 traces every solve.
 //	GET  /healthz readiness: 200 while serving, 503 once draining.
 //	GET  /metrics telemetry snapshot as JSON (counters, queue depth,
 //	              queue-wait and solve-time histograms); Prometheus text
@@ -43,8 +48,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -78,12 +85,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		maxTimeout = fs.Duration("max-timeout", serve.DefaultMaxSolveTimeout, "cap on request-supplied ?timeout=")
 		maxBody    = fs.Int64("max-body", serve.DefaultMaxBodyBytes, "max request body (and /sweep line) bytes")
 		drain      = fs.Duration("drain", 30*time.Second, "graceful shutdown budget for in-flight solves")
+		logFormat  = fs.String("log-format", "text", "request log format: text or json")
+		logLevel   = fs.String("log-level", "info", "request log level: debug, info, warn or error")
+		debugAddr  = fs.String("debug-addr", "", "serve net/http/pprof on this separate address (empty: disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+
+	logger, err := newLogger(stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
 	}
 
 	srv := serve.New(serve.Config{
@@ -94,6 +109,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		DefaultSolveTimeout: *timeout,
 		MaxSolveTimeout:     *maxTimeout,
 		MaxBodyBytes:        *maxBody,
+		Logger:              logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -101,6 +117,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stderr, "solverd: listening on %s\n", ln.Addr())
+
+	// The pprof listener is deliberately separate from the API address:
+	// profiling endpoints never share exposure with the solve surface, and
+	// a saturated worker pool cannot starve a profile grab. net/http/pprof
+	// registers on the DefaultServeMux at import.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer dln.Close()
+		fmt.Fprintf(stderr, "solverd: pprof on %s/debug/pprof/\n", dln.Addr())
+		go http.Serve(dln, nil)
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
@@ -133,4 +163,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	srv.Close()
 	fmt.Fprintf(stderr, "solverd: drained cleanly\n")
 	return nil
+}
+
+// newLogger builds the request logger from the -log-format and
+// -log-level flags.
+func newLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
 }

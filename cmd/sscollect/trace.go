@@ -1,0 +1,161 @@
+// trace.go implements sscollect -op trace: offline summarization of the
+// span-structured solve traces that cmd/sweep -trace (and solverd's
+// ?trace=1) stream as JSONL. The summary is deterministic given the
+// trace structure — per-kind pivot and phase aggregates come from exact
+// span attributes — while the slowest-span table reads the spans' timing
+// blocks, the one wall-clock part of a trace.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	steadystate "repro"
+	"repro/internal/sweep"
+)
+
+// kindAgg accumulates the pivot/phase statistics of one collective kind
+// across a trace batch.
+type kindAgg struct {
+	traces     int
+	spans      int
+	phase1     int // lp.phase1 "pivots" (includes artificial drive-out)
+	driveout   int // lp.phase1 "driveout_pivots"
+	phase2     int // lp.phase2 "pivots"
+	degenerate int // degenerate pivots across both phases
+	blandAct   int // Bland's-rule activations across both phases
+}
+
+// spanCost labels one span's wall-clock cost for the slowest-span table.
+type spanCost struct {
+	scenario string
+	path     string // slash-joined span path, e.g. solve/lp.phase2
+	durMS    float64
+}
+
+// traceSummary aggregates a sweep trace JSONL into per-kind pivot/phase
+// aggregates and the top-N slowest spans.
+func traceSummary(path string, topN int, stdout io.Writer) error {
+	if path == "" {
+		return fmt.Errorf("-op trace needs -in (a trace JSONL from sweep -trace, \"-\": stdin)")
+	}
+	var in io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("open -in: %w", err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	kinds := make(map[steadystate.Kind]*kindAgg)
+	var costs []spanCost
+	traces := 0
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(nil, 64<<20) // traces of big scenarios outgrow the default line cap
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec sweep.TraceRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("parse line %d: %w", lineNo, err)
+		}
+		if rec.Trace == nil || rec.Trace.Root == nil {
+			continue
+		}
+		traces++
+		agg := kinds[rec.Kind]
+		if agg == nil {
+			agg = &kindAgg{}
+			kinds[rec.Kind] = agg
+		}
+		agg.traces++
+
+		var walk func(s *steadystate.Span, prefix string)
+		walk = func(s *steadystate.Span, prefix string) {
+			p := s.Name
+			if prefix != "" {
+				p = prefix + "/" + s.Name
+			}
+			agg.spans++
+			if s.Timing != nil {
+				costs = append(costs, spanCost{scenario: rec.Name, path: p, durMS: s.Timing.DurMS})
+			}
+			switch s.Name {
+			case "lp.phase1":
+				agg.phase1 += intAttr(s, "pivots")
+				agg.driveout += intAttr(s, "driveout_pivots")
+				agg.degenerate += intAttr(s, "degenerate_pivots")
+				agg.blandAct += intAttr(s, "bland_activations")
+			case "lp.phase2":
+				agg.phase2 += intAttr(s, "pivots")
+				agg.degenerate += intAttr(s, "degenerate_pivots")
+				agg.blandAct += intAttr(s, "bland_activations")
+			}
+			for _, c := range s.Children {
+				walk(c, p)
+			}
+		}
+		walk(rec.Trace.Root, "")
+	}
+	if err := scanner.Err(); err != nil {
+		return fmt.Errorf("read -in: %w", err)
+	}
+
+	fmt.Fprintf(stdout, "trace summary: %d trace(s)\n\n", traces)
+	names := make([]steadystate.Kind, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	tw := tabwriter.NewWriter(stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "kind\ttraces\tspans\tphase1_pivots\tdriveout\tphase2_pivots\tdegenerate\tbland_activations\t")
+	for _, k := range names {
+		a := kinds[k]
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t\n",
+			k, a.traces, a.spans, a.phase1, a.driveout, a.phase2, a.degenerate, a.blandAct)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if topN > 0 && len(costs) > 0 {
+		sort.Slice(costs, func(i, j int) bool {
+			if costs[i].durMS != costs[j].durMS {
+				return costs[i].durMS > costs[j].durMS
+			}
+			if costs[i].scenario != costs[j].scenario {
+				return costs[i].scenario < costs[j].scenario
+			}
+			return costs[i].path < costs[j].path
+		})
+		if topN > len(costs) {
+			topN = len(costs)
+		}
+		fmt.Fprintf(stdout, "\ntop %d slowest span(s):\n", topN)
+		for _, c := range costs[:topN] {
+			fmt.Fprintf(stdout, "  %10.3f ms  %s  %s\n", c.durMS, c.scenario, c.path)
+		}
+	}
+	return nil
+}
+
+// intAttr reads an integer span attribute; a JSON round trip delivers
+// numeric attributes as float64.
+func intAttr(s *steadystate.Span, key string) int {
+	v, ok := s.Attrs[key].(float64)
+	if !ok {
+		return 0
+	}
+	return int(v)
+}

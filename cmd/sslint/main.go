@@ -1,11 +1,12 @@
-// Command sslint runs the repository's static-analysis suite: six
+// Command sslint runs the repository's static-analysis suite: seven
 // analyzers mechanizing the invariants the steady-state stack's
 // guarantees rest on — exact rational arithmetic in the LP path
 // (ratfloat), no map-iteration order in observable output
 // (mapdeterminism), contexts threaded into every solver loop (ctxflow),
 // the fragment contract for shared-capacity LPs (fragmentcontract),
-// stable serving-layer wire error codes (errcode), and doc comments on
-// every exported identifier (exporteddoc).
+// stable serving-layer wire error codes (errcode), tracers minted only
+// at the solve root (obsflow), and doc comments on every exported
+// identifier (exporteddoc).
 //
 // Usage:
 //

@@ -47,7 +47,7 @@ func TestSuiteCleanOnRepo(t *testing.T) {
 	}
 }
 
-// TestListNamesEveryAnalyzer checks -list prints the six analyzers.
+// TestListNamesEveryAnalyzer checks -list prints the seven analyzers.
 func TestListNamesEveryAnalyzer(t *testing.T) {
 	out := tempOut(t)
 	code, err := run([]string{"-list"}, out)
@@ -55,7 +55,7 @@ func TestListNamesEveryAnalyzer(t *testing.T) {
 		t.Fatalf("run -list: code %d, err %v", code, err)
 	}
 	got := readBack(t, out)
-	for _, name := range []string{"ctxflow", "errcode", "exporteddoc", "fragmentcontract", "mapdeterminism", "ratfloat"} {
+	for _, name := range []string{"ctxflow", "errcode", "exporteddoc", "fragmentcontract", "mapdeterminism", "obsflow", "ratfloat"} {
 		if !strings.Contains(got, name) {
 			t.Errorf("-list output missing %s:\n%s", name, got)
 		}

@@ -14,6 +14,7 @@
 //	sweep -dir s/ -jobs 8 -timeout 30s         # 8 workers, 30s per solve
 //	sweep -dir s/ -shard 0/4                   # this process solves shard 0 of 4
 //	sweep -dir s/ -out report.json -jsonl log.jsonl
+//	sweep -dir s/ -trace traces.jsonl          # span-structured solve traces, one line per scenario
 //
 // The end-to-end pipeline from a single seed (generate → sweep):
 //
@@ -70,6 +71,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		timeout = fs.Duration("timeout", 0, "per-solve deadline (0: none)")
 		out     = fs.String("out", "", "write the aggregated SweepReport JSON here (default stdout)")
 		jsonl   = fs.String("jsonl", "", "stream one JSON line per completed scenario to this file (\"-\": stderr)")
+		trace   = fs.String("trace", "", "solve with tracing and stream one trace JSON line per solved scenario to this file (\"-\": stderr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -116,6 +118,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 		defer f.Close()
 		opts.JSONL = f
+	}
+	switch *trace {
+	case "":
+	case "-":
+		opts.Trace = stderr
+	default:
+		f, err := os.Create(*trace)
+		if err != nil {
+			return fmt.Errorf("create -trace: %w", err)
+		}
+		defer f.Close()
+		opts.Trace = f
 	}
 
 	start := time.Now()

@@ -1,0 +1,34 @@
+package obsflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/obsflow"
+)
+
+// TestFlaggedInScope checks NewTracer and WithTracer are caught when the
+// fixture poses as a package under internal/lp, while FromContext,
+// StartSpan and the span methods stay legal.
+func TestFlaggedInScope(t *testing.T) {
+	analysistest.Run(t, obsflow.Analyzer, "testdata/flagged", "repro/internal/lp/fixture")
+}
+
+// TestFlaggedFixtureQuietOutOfScope re-checks the same calls under a
+// neutral import path: the scope gate must silence them.
+func TestFlaggedFixtureQuietOutOfScope(t *testing.T) {
+	diags := analysistest.Diagnostics(t, obsflow.Analyzer, "testdata/flagged", "repro/internal/tools/fixture")
+	for _, d := range diags {
+		if d.Analyzer == "obsflow" {
+			t.Errorf("out-of-scope package flagged: %s", d)
+		}
+	}
+}
+
+// TestCleanOutOfScope checks the edge idiom — minting at the root —
+// stays quiet outside the solver scope.
+func TestCleanOutOfScope(t *testing.T) {
+	if diags := analysistest.Diagnostics(t, obsflow.Analyzer, "testdata/clean", "repro/internal/tools/fixture"); len(diags) != 0 {
+		t.Fatalf("clean fixture flagged: %v", diags)
+	}
+}

@@ -1,0 +1,18 @@
+// Package fixture exercises obsflow's scope gate: minting a tracer is
+// exactly what the edge packages (serve, sweep, the root package) do,
+// so the same code under a neutral import path must produce no
+// findings.
+package fixture
+
+import (
+	"context"
+
+	"repro/internal/obs"
+)
+
+// Root mints and installs a tracer — the edge's legitimate move.
+func Root(ctx context.Context) (*obs.Trace, context.Context) {
+	t := obs.NewTracer("solve")
+	ctx = obs.WithTracer(ctx, t)
+	return t.Finish(), ctx
+}

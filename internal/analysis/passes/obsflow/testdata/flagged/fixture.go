@@ -1,0 +1,30 @@
+// Package fixture exercises obsflow: this file is type-checked under an
+// import path inside internal/lp, where tracers must come from the
+// context.
+package fixture
+
+import (
+	"context"
+
+	"repro/internal/obs"
+)
+
+// Fork mints a tracer mid-stack, forking the span tree away from the
+// solve's root — both the mint and the install are flagged.
+func Fork(ctx context.Context) context.Context {
+	t := obs.NewTracer("rogue")   // want "obs.NewTracer below the solve root"
+	return obs.WithTracer(ctx, t) // want "obs.WithTracer below the solve root"
+}
+
+// Observe participates in the context's trace the sanctioned way:
+// FromContext, StartSpan and the span methods stay legal.
+func Observe(ctx context.Context) int {
+	if obs.FromContext(ctx) == nil {
+		return 0
+	}
+	ctx, span := obs.StartSpan(ctx, "stage")
+	span.SetAttr("pivots", 1)
+	span.End()
+	_ = ctx
+	return 1
+}

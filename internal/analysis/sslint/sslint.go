@@ -1,7 +1,7 @@
-// Package sslint assembles the repository's analyzer suite — the six
+// Package sslint assembles the repository's analyzer suite — the seven
 // passes that mechanize the exactness, determinism, context, fragment,
-// error-code and documentation invariants — for cmd/sslint and the
-// driver-level tests.
+// error-code, tracing and documentation invariants — for cmd/sslint and
+// the driver-level tests.
 package sslint
 
 import (
@@ -11,6 +11,7 @@ import (
 	"repro/internal/analysis/passes/exporteddoc"
 	"repro/internal/analysis/passes/fragmentcontract"
 	"repro/internal/analysis/passes/mapdeterminism"
+	"repro/internal/analysis/passes/obsflow"
 	"repro/internal/analysis/passes/ratfloat"
 )
 
@@ -22,6 +23,7 @@ func Suite() []*analysis.Analyzer {
 		exporteddoc.Analyzer,
 		fragmentcontract.Analyzer,
 		mapdeterminism.Analyzer,
+		obsflow.Analyzer,
 		ratfloat.Analyzer,
 	}
 }

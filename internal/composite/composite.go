@@ -41,6 +41,7 @@ import (
 	"repro/internal/gossip"
 	"repro/internal/graph"
 	"repro/internal/lp"
+	"repro/internal/obs"
 	"repro/internal/prefix"
 	"repro/internal/rat"
 	"repro/internal/reduce"
@@ -372,23 +373,23 @@ func (pr *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 			for j, t := range mem.Scatter.Targets {
 				comms[j] = core.Commodity{Src: mem.Scatter.Source, Dst: t}
 			}
-			f, err := core.NewFlowFragment(m, label, pr.Platform, comms, occ)
+			f, err := core.NewFlowFragment(ctx, m, label, pr.Platform, comms, occ)
 			if err != nil {
 				return nil, fmt.Errorf("composite: member %d: %w", i, err)
 			}
 			frags[i].flow = f
 		case mem.Broadcast != nil:
-			frags[i].bcast = mem.Broadcast.NewFragment(m, label, occ)
+			frags[i].bcast = mem.Broadcast.NewFragment(ctx, m, label, occ)
 		case mem.Gossip != nil:
-			f, err := core.NewFlowFragment(m, label, pr.Platform, mem.Gossip.Commodities(), occ)
+			f, err := core.NewFlowFragment(ctx, m, label, pr.Platform, mem.Gossip.Commodities(), occ)
 			if err != nil {
 				return nil, fmt.Errorf("composite: member %d: %w", i, err)
 			}
 			frags[i].flow = f
 		case mem.Reduce != nil:
-			frags[i].red = mem.Reduce.NewFragment(m, label, occ)
+			frags[i].red = mem.Reduce.NewFragment(ctx, m, label, occ)
 		case mem.Prefix != nil:
-			frags[i].pre = mem.Prefix.NewFragment(m, label, occ)
+			frags[i].pre = mem.Prefix.NewFragment(ctx, m, label, occ)
 		}
 	}
 	occ.AddConstraints(m)
@@ -429,6 +430,10 @@ func (pr *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 		TP:      rat.Copy(sol.Objective),
 		Stats:   core.StatsOf(m, sol),
 	}
+	_, exSpan := obs.StartSpan(ctx, "extract")
+	exSpan.SetAttr("kind", "composite")
+	exSpan.SetAttr("members", len(pr.Members))
+	defer exSpan.End()
 	for i, mem := range pr.Members {
 		memTP := rat.Mul(mem.Weight, sol.Objective)
 		ms := &MemberSolution{Weight: rat.Copy(mem.Weight), Throughput: rat.Copy(memTP)}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/lp"
+	"repro/internal/obs"
 	"repro/internal/rat"
 )
 
@@ -74,7 +75,7 @@ func SolveUniformFlowCtx(ctx context.Context, p *graph.Platform, commodities []C
 	tp := m.Var("TP")
 	m.SetObjective(tp, rat.One())
 	occ := NewOccupancy(p)
-	frag, err := NewFlowFragment(m, "", p, commodities, occ)
+	frag, err := NewFlowFragment(ctx, m, "", p, commodities, occ)
 	if err != nil {
 		return nil, FlowStats{}, err
 	}
@@ -89,7 +90,10 @@ func SolveUniformFlowCtx(ctx context.Context, p *graph.Platform, commodities []C
 		return nil, FlowStats{}, fmt.Errorf("core: flow LP solution failed verification: %w", err)
 	}
 
+	_, exSpan := obs.StartSpan(ctx, "extract")
 	f := frag.Extract(sol, sol.Objective)
+	exSpan.SetAttr("kind", "flow")
+	exSpan.End()
 	return f, StatsOf(m, sol), nil
 }
 
@@ -116,7 +120,14 @@ type FlowFragment struct {
 // prefixes variable names so several fragments can share one model. The
 // caller emits the port constraints (occ.AddConstraints) once after every
 // fragment has been declared, then calls AddFlowConstraints per fragment.
-func NewFlowFragment(m *lp.Model, label string, p *graph.Platform, commodities []Commodity, occ *OccupancyBuilder) (*FlowFragment, error) {
+// ctx carries the solve trace, if any: assembly opens an "assemble" span
+// with a "reachability" child covering the pruning-index computation.
+func NewFlowFragment(ctx context.Context, m *lp.Model, label string, p *graph.Platform, commodities []Commodity, occ *OccupancyBuilder) (*FlowFragment, error) {
+	ctx, asmSpan := obs.StartSpan(ctx, "assemble")
+	asmSpan.SetAttr("kind", "flow")
+	asmSpan.SetAttr("label", label)
+	asmSpan.SetAttr("commodities", len(commodities))
+	defer asmSpan.End()
 	if len(commodities) == 0 {
 		return nil, fmt.Errorf("core: no commodities")
 	}
@@ -140,6 +151,7 @@ func NewFlowFragment(m *lp.Model, label string, p *graph.Platform, commodities [
 	// Reachability sets for pruning: fromSrc[s] = reachable from s;
 	// toDst[d] = nodes that can reach d (reverse reachability, computed by
 	// scanning each node once per destination).
+	_, reachSpan := obs.StartSpan(ctx, "reachability")
 	fromSrc := make(map[graph.NodeID]map[graph.NodeID]bool)
 	toDst := make(map[graph.NodeID]map[graph.NodeID]bool)
 	for _, c := range commodities {
@@ -160,6 +172,9 @@ func NewFlowFragment(m *lp.Model, label string, p *graph.Platform, commodities [
 			toDst[c.Dst] = set
 		}
 	}
+	reachSpan.SetAttr("sources", len(fromSrc))
+	reachSpan.SetAttr("destinations", len(toDst))
+	reachSpan.End()
 
 	f := &FlowFragment{
 		Platform:    p,
@@ -186,6 +201,7 @@ func NewFlowFragment(m *lp.Model, label string, p *graph.Platform, commodities [
 			occ.Add(e.From, e.To, v, e.Cost) // unit-size messages
 		}
 	}
+	asmSpan.SetAttr("vars", len(f.sends))
 	return f, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"repro/internal/obs"
 	"repro/internal/rat"
 )
 
@@ -112,6 +113,16 @@ type tableau interface {
 	value(i int) rat.Rat
 	// objValue returns the objective row's rhs as an exact rational.
 	objValue() rat.Rat
+	// blandActive reports whether the cycling fallback (Bland's rule) has
+	// engaged in the current phase — a tracing observer.
+	blandActive() bool
+	// rowRHSSign returns the sign of row i's rhs entry (0 marks the
+	// degenerate pivots a tracing observer counts).
+	rowRHSSign(i int) int
+	// nonzeros counts the nonzero entries across constraint rows (rhs
+	// column included, objective row excluded). Both implementations
+	// normalize rows identically, so their counts agree entry for entry.
+	nonzeros() int
 }
 
 // newTableau constructs the selected implementation.
@@ -134,8 +145,11 @@ func blandBudget(rows, cols, override int) int {
 
 // iterate pivots until optimality, unboundedness or context cancellation.
 // Each pivot is dominated by big.Int row arithmetic, so a per-pivot
-// cancellation check costs nothing measurable.
-func iterate(ctx context.Context, t tableau) error {
+// cancellation check costs nothing measurable. rec, when non-nil, observes
+// every pivot for the solve trace; with no tracer installed rec is nil and
+// the loop's only added cost is one pointer comparison per pivot
+// (allocation-free, pinned by TestNoTracerPivotLoopAllocationFree).
+func iterate(ctx context.Context, t tableau, rec *pivotRecorder) error {
 	for {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("lp: interrupted after %d pivots: %w", t.pivotCount(), err)
@@ -147,6 +161,9 @@ func iterate(ctx context.Context, t tableau) error {
 		r := t.leaving(c)
 		if r < 0 {
 			return ErrUnbounded
+		}
+		if rec != nil {
+			rec.observe(t, r)
 		}
 		t.pivot(r, c)
 	}
@@ -232,12 +249,26 @@ func (t *denseTableau) addRow(entries []colVal, den *big.Int, basic int) {
 	t.basis = append(t.basis, basic)
 }
 
-func (t *denseTableau) nRows() int          { return len(t.rows) }
-func (t *denseTableau) basic(i int) int     { return t.basis[i] }
-func (t *denseTableau) pivotCount() int     { return t.pivots }
-func (t *denseTableau) objRHSSign() int     { return t.obj.n[t.rhs].Sign() }
-func (t *denseTableau) value(i int) rat.Rat { return t.rows[i].rational(t.rhs) }
-func (t *denseTableau) objValue() rat.Rat   { return t.obj.rational(t.rhs) }
+func (t *denseTableau) nRows() int           { return len(t.rows) }
+func (t *denseTableau) basic(i int) int      { return t.basis[i] }
+func (t *denseTableau) pivotCount() int      { return t.pivots }
+func (t *denseTableau) objRHSSign() int      { return t.obj.n[t.rhs].Sign() }
+func (t *denseTableau) value(i int) rat.Rat  { return t.rows[i].rational(t.rhs) }
+func (t *denseTableau) objValue() rat.Rat    { return t.obj.rational(t.rhs) }
+func (t *denseTableau) blandActive() bool    { return t.bland }
+func (t *denseTableau) rowRHSSign(i int) int { return t.rows[i].n[t.rhs].Sign() }
+
+func (t *denseTableau) nonzeros() int {
+	nnz := 0
+	for _, r := range t.rows {
+		for _, v := range r.n {
+			if v.Sign() != 0 {
+				nnz++
+			}
+		}
+	}
+	return nnz
+}
 
 func (t *denseTableau) resetRule(budget int) {
 	t.bland = false
@@ -494,6 +525,10 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 	budget := blandBudget(len(rowsIn), nCols, m.blandOverride)
 	t := newTableau(TableauFrom(ctx), nCols, budget)
 
+	// With a tracer in ctx, each stage below opens a span; undecorated
+	// contexts yield nil spans and nil recorders, whose methods no-op.
+	_, rowsSpan := obs.StartSpan(ctx, "lp.rows")
+
 	slackAt := nStruct
 	artAt := nStruct + nSlack
 	artCols := make([]bool, nCols)
@@ -531,14 +566,22 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 		}
 		t.addRow(entries, den, basic)
 	}
+	rowsSpan.SetAttr("rows", t.nRows())
+	rowsSpan.SetAttr("structural", nStruct)
+	rowsSpan.SetAttr("slacks", nSlack)
+	rowsSpan.SetAttr("artificials", nArt)
+	rowsSpan.SetAttr("nonzeros", t.nonzeros())
+	rowsSpan.End()
 
 	// Phase 1: minimize the sum of artificials, i.e. maximize −Σa. The
 	// reduced-cost row starts as +1 on artificial columns, then basic
 	// columns are eliminated (each artificial is basic in its row).
 	phase1Pivots := 0
 	if nArt > 0 {
+		_, p1Span := obs.StartSpan(ctx, "lp.phase1")
+		rec := newPivotRecorder(p1Span, nCols+1)
 		t.installPhase1(artCols)
-		if err := iterate(ctx, t); err != nil {
+		if err := iterate(ctx, t, rec); err != nil {
 			if errors.Is(err, ErrUnbounded) {
 				// Phase 1 objective is bounded (≥ −Σb); unbounded here means
 				// a solver bug, surface it loudly.
@@ -572,6 +615,8 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 		}
 		t.markDead(artCols)
 		phase1Pivots = t.pivotCount()
+		rec.finish(p1Span, t, phase1Pivots)
+		p1Span.End()
 	}
 
 	// Phase 2: the real objective. Phase 1 may have tripped the cycling
@@ -595,10 +640,14 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 		}
 		objEntries = append(objEntries, colVal{v, new(big.Int).Neg(rat.ScaleToInt(cc, objDen))})
 	}
+	_, p2Span := obs.StartSpan(ctx, "lp.phase2")
+	rec2 := newPivotRecorder(p2Span, nCols+1)
 	t.installObjective(objEntries, objDen)
-	if err := iterate(ctx, t); err != nil {
+	if err := iterate(ctx, t, rec2); err != nil {
 		return nil, err
 	}
+	rec2.finish(p2Span, t, t.pivotCount()-phase1Pivots)
+	p2Span.End()
 
 	// Extract the solution.
 	vals := make([]rat.Rat, nStruct)

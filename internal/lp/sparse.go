@@ -196,12 +196,24 @@ func (t *sparseTableau) addRow(entries []colVal, den *big.Int, basic int) {
 	t.basis = append(t.basis, basic)
 }
 
-func (t *sparseTableau) nRows() int          { return len(t.rows) }
-func (t *sparseTableau) basic(i int) int     { return t.basis[i] }
-func (t *sparseTableau) pivotCount() int     { return t.pivots }
-func (t *sparseTableau) objRHSSign() int     { return t.obj.sign(t.rhs) }
-func (t *sparseTableau) objValue() rat.Rat   { return t.rational(t.obj, t.rhs) }
-func (t *sparseTableau) value(i int) rat.Rat { return t.rational(t.rows[i], t.rhs) }
+func (t *sparseTableau) nRows() int           { return len(t.rows) }
+func (t *sparseTableau) basic(i int) int      { return t.basis[i] }
+func (t *sparseTableau) pivotCount() int      { return t.pivots }
+func (t *sparseTableau) objRHSSign() int      { return t.obj.sign(t.rhs) }
+func (t *sparseTableau) objValue() rat.Rat    { return t.rational(t.obj, t.rhs) }
+func (t *sparseTableau) value(i int) rat.Rat  { return t.rational(t.rows[i], t.rhs) }
+func (t *sparseTableau) blandActive() bool    { return t.bland }
+func (t *sparseTableau) rowRHSSign(i int) int { return t.rows[i].sign(t.rhs) }
+
+// nonzeros counts stored entries; sparse rows never hold zeros and both
+// implementations normalize identically, so this equals the dense scan.
+func (t *sparseTableau) nonzeros() int {
+	nnz := 0
+	for _, r := range t.rows {
+		nnz += len(r.num)
+	}
+	return nnz
+}
 
 // rational reads entry col of r as an exact rational.
 func (t *sparseTableau) rational(r *sparseRow, col int) rat.Rat {

@@ -1,0 +1,93 @@
+package lp
+
+import (
+	"repro/internal/obs"
+)
+
+// trajectoryEvery is K: the phase-local pivot stride at which the
+// recorder samples the tableau trajectory and an objective waypoint.
+// Sampling is structural (pivot ordinals, not wall clock), so the
+// trajectory is identical run over run.
+const trajectoryEvery = 64
+
+// pivotRecorder accumulates the per-pivot events of one simplex phase
+// for the solve trace: the Dantzig/Bland entering split, Bland
+// activations, degenerate pivots (leaving row with zero rhs), the
+// tableau nonzero/density trajectory and exact objective waypoints. A
+// nil recorder is the off switch — iterate guards every observation
+// behind one nil check, so an untraced solve stays allocation-free in
+// the pivot loop.
+type pivotRecorder struct {
+	cols int // total tableau columns including rhs, for density
+
+	pivots           int // pivots observed by the iterate loop this phase
+	degenerate       int
+	dantzig          int
+	bland            int
+	blandActivations int
+	blandWasActive   bool
+
+	samples   []obs.TableauSample
+	waypoints []obs.Waypoint
+}
+
+// newPivotRecorder returns a recorder feeding the span, or nil when the
+// span is nil (no tracer in the context).
+func newPivotRecorder(span *obs.Span, cols int) *pivotRecorder {
+	if span == nil {
+		return nil
+	}
+	return &pivotRecorder{cols: cols}
+}
+
+// observe records one pivot about to happen: t's entering rule and the
+// leaving row r's degeneracy, plus a trajectory sample every
+// trajectoryEvery pivots (including the phase's initial state).
+func (rec *pivotRecorder) observe(t tableau, r int) {
+	if t.blandActive() {
+		rec.bland++
+		if !rec.blandWasActive {
+			rec.blandWasActive = true
+			rec.blandActivations++
+		}
+	} else {
+		rec.dantzig++
+	}
+	if t.rowRHSSign(r) == 0 {
+		rec.degenerate++
+	}
+	if rec.pivots%trajectoryEvery == 0 {
+		rec.sample(t)
+	}
+	rec.pivots++
+}
+
+// sample appends one trajectory point and objective waypoint at the
+// tableau's current (solve-global) pivot ordinal.
+func (rec *pivotRecorder) sample(t tableau) {
+	rec.samples = append(rec.samples,
+		obs.NewTableauSample(t.pivotCount(), t.nRows(), rec.cols, t.nonzeros()))
+	rec.waypoints = append(rec.waypoints,
+		obs.Waypoint{Pivot: t.pivotCount(), Objective: t.objValue().RatString()})
+}
+
+// finish writes the phase's attributes onto its span. phasePivots is
+// the phase's total pivot count by the driver's accounting — for phase
+// 1 it includes the artificial drive-out pivots performed outside the
+// iterate loop, so the span reconciles exactly with
+// Solution.Phase1Iterations (and sweep's lp_phase1_pivots).
+func (rec *pivotRecorder) finish(span *obs.Span, t tableau, phasePivots int) {
+	if rec == nil {
+		return
+	}
+	rec.sample(t) // final state: optimal objective, settled tableau
+	span.SetAttr("pivots", phasePivots)
+	span.SetAttr("driveout_pivots", phasePivots-rec.pivots)
+	span.SetAttr("degenerate_pivots", rec.degenerate)
+	span.SetAttr("dantzig_pivots", rec.dantzig)
+	span.SetAttr("bland_pivots", rec.bland)
+	span.SetAttr("bland_activations", rec.blandActivations)
+	span.SetAttr("objective", t.objValue().RatString())
+	span.SetAttr("trajectory", rec.samples)
+	span.SetAttr("objective_waypoints", rec.waypoints)
+}

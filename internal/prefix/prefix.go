@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/lp"
+	"repro/internal/obs"
 	"repro/internal/rat"
 	"repro/internal/reduce"
 )
@@ -125,7 +126,7 @@ func (pr *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 	m.SetObjective(tp, rat.One())
 	occ := core.NewOccupancy(pr.Platform)
 	comp := core.NewCompute(pr.Platform)
-	frag := pr.NewFragment(m, "", occ)
+	frag := pr.NewFragment(ctx, m, "", occ)
 	occ.AddConstraints(m)
 	frag.AddComputeVars(m, "", comp)
 	comp.AddConstraints(m)
@@ -139,7 +140,11 @@ func (pr *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 		return nil, fmt.Errorf("prefix: LP solution failed verification: %w", err)
 	}
 	stats := core.StatsOf(m, sol)
-	return frag.Extract(sol, sol.Objective, stats), nil
+	_, exSpan := obs.StartSpan(ctx, "extract")
+	out := frag.Extract(sol, sol.Objective, stats)
+	exSpan.SetAttr("kind", "prefix")
+	exSpan.End()
+	return out, nil
 }
 
 // Fragment is one prefix instance's share of a linear program, following
@@ -154,8 +159,13 @@ type Fragment struct {
 
 // NewFragment declares the transfer variables into m (a leaf never flows
 // into its owner), registering their busy time with occ. label prefixes
-// variable names so several fragments can share one model.
-func (pr *Problem) NewFragment(m *lp.Model, label string, occ *core.OccupancyBuilder) *Fragment {
+// variable names so several fragments can share one model. ctx carries
+// the solve trace, if any: assembly opens an "assemble" span.
+func (pr *Problem) NewFragment(ctx context.Context, m *lp.Model, label string, occ *core.OccupancyBuilder) *Fragment {
+	_, asmSpan := obs.StartSpan(ctx, "assemble")
+	asmSpan.SetAttr("kind", "prefix")
+	asmSpan.SetAttr("label", label)
+	asmSpan.SetAttr("participants", len(pr.Order))
 	f := &Fragment{
 		Problem: pr,
 		Sends:   make(map[reduce.SendKey]lp.Var),
@@ -173,6 +183,8 @@ func (pr *Problem) NewFragment(m *lp.Model, label string, occ *core.OccupancyBui
 			occ.Add(e.From, e.To, v, rat.Mul(pr.SizeOf(r), e.Cost))
 		}
 	}
+	asmSpan.SetAttr("vars", len(f.Sends))
+	asmSpan.End()
 	return f
 }
 

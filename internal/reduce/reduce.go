@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/lp"
+	"repro/internal/obs"
 	"repro/internal/rat"
 )
 
@@ -213,7 +214,7 @@ func (pr *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 	m.SetObjective(tp, rat.One())
 	occ := core.NewOccupancy(pr.Platform)
 	comp := core.NewCompute(pr.Platform)
-	frag := pr.NewFragment(m, "", occ)
+	frag := pr.NewFragment(ctx, m, "", occ)
 	occ.AddConstraints(m)
 	frag.AddComputeVars(m, "", comp)
 	comp.AddConstraints(m)
@@ -227,7 +228,11 @@ func (pr *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 		return nil, fmt.Errorf("reduce: LP solution failed verification: %w", err)
 	}
 	stats := core.StatsOf(m, sol)
-	return frag.Extract(sol, sol.Objective, stats), nil
+	_, exSpan := obs.StartSpan(ctx, "extract")
+	out := frag.Extract(sol, sol.Objective, stats)
+	exSpan.SetAttr("kind", "reduce")
+	exSpan.End()
+	return out, nil
 }
 
 // Fragment is one reduce instance's share of a linear program: its
@@ -251,8 +256,13 @@ type Fragment struct {
 // NewFragment declares the transfer variables of the problem into m with
 // light pruning — the final result never leaves the target, a leaf v[i,i]
 // never flows into its owner — registering their busy time with occ. label
-// prefixes variable names so several fragments can share one model.
-func (pr *Problem) NewFragment(m *lp.Model, label string, occ *core.OccupancyBuilder) *Fragment {
+// prefixes variable names so several fragments can share one model. ctx
+// carries the solve trace, if any: assembly opens an "assemble" span.
+func (pr *Problem) NewFragment(ctx context.Context, m *lp.Model, label string, occ *core.OccupancyBuilder) *Fragment {
+	_, asmSpan := obs.StartSpan(ctx, "assemble")
+	asmSpan.SetAttr("kind", "reduce")
+	asmSpan.SetAttr("label", label)
+	asmSpan.SetAttr("participants", len(pr.Order))
 	final := Range{0, pr.N()}
 	f := &Fragment{
 		Problem: pr,
@@ -274,6 +284,8 @@ func (pr *Problem) NewFragment(m *lp.Model, label string, occ *core.OccupancyBui
 			occ.Add(e.From, e.To, v, rat.Mul(pr.SizeOf(r), e.Cost))
 		}
 	}
+	asmSpan.SetAttr("vars", len(f.Sends))
+	asmSpan.End()
 	return f
 }
 

@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/lp"
+	"repro/internal/obs"
 	"repro/internal/rat"
 )
 
@@ -83,9 +84,16 @@ type BroadcastFragment struct {
 // virtual copies of the same bytes. label prefixes variable names so
 // several fragments can share one model. The caller emits the port
 // constraints (occ.AddConstraints) once after every fragment has been
-// declared, then calls AddFlowConstraints per fragment.
-func (pr *BroadcastProblem) NewFragment(m *lp.Model, label string, occ *core.OccupancyBuilder) *BroadcastFragment {
+// declared, then calls AddFlowConstraints per fragment. ctx carries the
+// solve trace, if any: assembly opens an "assemble" span with a
+// "reachability" child covering the pruning-index computation.
+func (pr *BroadcastProblem) NewFragment(ctx context.Context, m *lp.Model, label string, occ *core.OccupancyBuilder) *BroadcastFragment {
+	ctx, asmSpan := obs.StartSpan(ctx, "assemble")
+	asmSpan.SetAttr("kind", "broadcast")
+	asmSpan.SetAttr("label", label)
+	asmSpan.SetAttr("targets", len(pr.Targets))
 	p := pr.Platform
+	_, reachSpan := obs.StartSpan(ctx, "reachability")
 	fromSrc := make(map[graph.NodeID]bool)
 	for _, n := range p.ReachableFrom(pr.Source) {
 		fromSrc[n] = true
@@ -100,6 +108,9 @@ func (pr *BroadcastProblem) NewFragment(m *lp.Model, label string, occ *core.Occ
 		}
 		toDst[t] = set
 	}
+	reachSpan.SetAttr("sources", 1)
+	reachSpan.SetAttr("destinations", len(toDst))
+	reachSpan.End()
 
 	f := &BroadcastFragment{
 		Problem: pr,
@@ -129,6 +140,8 @@ func (pr *BroadcastProblem) NewFragment(m *lp.Model, label string, occ *core.Occ
 			f.sends[broadcastKey{k, t}] = m.Var(name)
 		}
 	}
+	asmSpan.SetAttr("vars", len(f.carry)+len(f.sends))
+	asmSpan.End()
 	return f
 }
 
@@ -256,7 +269,7 @@ func (pr *BroadcastProblem) SolveCtx(ctx context.Context) (*BroadcastSolution, e
 	tp := m.Var("TP")
 	m.SetObjective(tp, rat.One())
 	occ := core.NewOccupancy(pr.Platform)
-	frag := pr.NewFragment(m, "", occ)
+	frag := pr.NewFragment(ctx, m, "", occ)
 	occ.AddConstraints(m)
 	frag.AddFlowConstraints(m, "", tp, rat.One())
 
@@ -267,7 +280,11 @@ func (pr *BroadcastProblem) SolveCtx(ctx context.Context) (*BroadcastSolution, e
 	if err := m.Verify(sol.Values()); err != nil {
 		return nil, fmt.Errorf("broadcast: LP solution failed verification: %w", err)
 	}
-	return frag.Extract(sol, sol.Objective, core.StatsOf(m, sol)), nil
+	_, exSpan := obs.StartSpan(ctx, "extract")
+	out := frag.Extract(sol, sol.Objective, core.StatsOf(m, sol))
+	exSpan.SetAttr("kind", "broadcast")
+	exSpan.End()
+	return out, nil
 }
 
 // Throughput returns TP: broadcasts initiated per time unit.

@@ -23,14 +23,37 @@ import (
 	"repro/internal/sweep"
 )
 
-// Handler returns the daemon's HTTP API.
+// Handler returns the daemon's HTTP API, wrapped with the request
+// observability edge (request IDs and, when configured, slog request
+// logs).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("/sweep", s.handleSweep)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return mux
+	return s.withObservability(mux)
+}
+
+// traceWanted reports whether the request opted into solve tracing.
+func traceWanted(r *http.Request) bool {
+	return r.URL.Query().Get("trace") == "1"
+}
+
+// annotateTrace returns a copy of rep whose trace carries the request's
+// ID and replay marker. The cached Report is shared across requests and
+// must never be mutated, so the trace and report headers are copied; the
+// span tree itself is immutable after the solve and is shared.
+func annotateTrace(rep *steadystate.Report, id string, replayed bool) *steadystate.Report {
+	if rep.Trace == nil {
+		return rep
+	}
+	tr := *rep.Trace
+	tr.ID = id
+	tr.Replayed = replayed
+	out := *rep
+	out.Trace = &tr
+	return &out
 }
 
 // writeJSON writes v as a compact JSON body with a trailing newline.
@@ -147,7 +170,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	rep, cached, err := s.Solve(ctx, sc, false)
+	trace := traceWanted(r)
+	rep, cached, err := s.solve(ctx, sc, false, trace)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -156,6 +180,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Cache", "hit")
 	} else {
 		w.Header().Set("X-Cache", "miss")
+	}
+	if trace {
+		rep = annotateTrace(rep, RequestID(r.Context()), cached)
 	}
 	writeJSON(w, http.StatusOK, rep)
 }
@@ -184,6 +211,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errBadScenario(err))
 		return
 	}
+	trace := traceWanted(r)
 
 	// Records are flushed while the scanner below is still reading the
 	// request body. Without full duplex, net/http's HTTP/1 server closes
@@ -261,10 +289,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				ctx, cancel = context.WithTimeout(ctx, timeout)
 				defer cancel()
 			}
-			rep, _, err := s.Solve(ctx, sc, true)
+			rep, cached, err := s.solve(ctx, sc, true, trace)
 			if err != nil {
 				emit(sweep.Record{Name: name, Error: err.Error()})
 				return
+			}
+			if trace {
+				rep = annotateTrace(rep, RequestID(r.Context()), cached)
 			}
 			emit(sweep.Record{Name: name, SolveMS: rep.SolveMS, LPNonZeros: rep.LPNonZeros, Report: rep})
 		}(name, sc)

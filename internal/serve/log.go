@@ -1,0 +1,98 @@
+// log.go is the request-observability edge of the serving layer: every
+// request gets a random ID (returned on X-Request-ID, carried through
+// the handler context, and adopted as the trace ID of ?trace=1 solves),
+// and — when the Config carries a Logger — one structured log/slog
+// record per request with method, path, status, duration and that ID.
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// requestIDKey carries the per-request ID through handler contexts.
+type requestIDKey struct{}
+
+// RequestID returns the ID minted for the request whose handler context
+// this is, or "" outside a request.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// newRequestID mints a 16-hex-digit random ID. Randomness is sound here:
+// request IDs are correlation handles between log lines and served
+// traces, never part of a deterministic artifact — trace golden
+// comparisons run on directly-solved traces, whose ID is empty.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// An unreadable entropy source should not fail the request; a
+		// constant ID only costs log correlation.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter records the response status for the request log while
+// delegating the writes. Unwrap keeps http.ResponseController features
+// working through the wrapper — the /sweep handler's full-duplex
+// upgrade reaches the real connection — and Flush preserves the
+// streaming flushes the same handler depends on.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// withObservability wraps the API mux with the request edge: mint the
+// request ID, expose it to the client and the handlers, and emit the
+// structured request log record once the handler returns.
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := newRequestID()
+		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		if s.logger != nil {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
+				slog.String("request_id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", status),
+				slog.Float64("dur_ms", msSince(start)),
+			)
+		}
+	})
+}

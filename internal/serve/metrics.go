@@ -9,6 +9,7 @@ package serve
 import (
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"sync"
 )
@@ -188,11 +189,20 @@ func (s MetricsSnapshot) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(w, "# HELP solverd_%s %s\n# TYPE solverd_%s gauge\nsolverd_%s %d\n", name, help, name, name, v)
 	}
 	histo := func(name string, h HistogramSnapshot, help string) {
+		// Standard exposition: the unit is seconds (le bounds and _sum
+		// converted from the snapshot's milliseconds) and the series ends
+		// with the +Inf bucket carrying the full count (snapshot appends
+		// it last). The JSON snapshot keeps its millisecond form — the CI
+		// artifacts and their jq pins depend on it.
 		fmt.Fprintf(w, "# HELP solverd_%s %s\n# TYPE solverd_%s histogram\n", name, help, name)
 		for _, b := range h.Buckets {
-			fmt.Fprintf(w, "solverd_%s_bucket{le=%q} %d\n", name, b.LE, b.Count)
+			le := "+Inf"
+			if v, err := strconv.ParseFloat(b.LE, 64); err == nil && !math.IsInf(v, 1) {
+				le = strconv.FormatFloat(v/1000, 'g', -1, 64)
+			}
+			fmt.Fprintf(w, "solverd_%s_bucket{le=%q} %d\n", name, le, b.Count)
 		}
-		fmt.Fprintf(w, "solverd_%s_sum %g\nsolverd_%s_count %d\n", name, h.SumMS, name, h.Count)
+		fmt.Fprintf(w, "solverd_%s_sum %g\nsolverd_%s_count %d\n", name, h.SumMS/1000, name, h.Count)
 	}
 	counter("solves_total", s.Solves, "completed LP solves")
 	counter("cache_hits_total", s.CacheHits, "report-cache hits")
@@ -203,7 +213,7 @@ func (s MetricsSnapshot) WritePrometheus(w io.Writer) error {
 	counter("solve_failures_total", s.SolveFailures, "admitted scenarios whose solve errored")
 	gauge("queue_depth", s.QueueDepth, "scenarios waiting in the admission queue")
 	gauge("inflight", s.Inflight, "requests admitted but not yet answered")
-	histo("queue_wait_ms", s.QueueWaitMS, "admission-to-worker latency in milliseconds")
-	histo("solve_ms", s.SolveMS, "LP solve wall clock in milliseconds")
+	histo("queue_wait_seconds", s.QueueWaitMS, "admission-to-worker latency in seconds")
+	histo("solve_seconds", s.SolveMS, "LP solve wall clock in seconds")
 	return nil
 }

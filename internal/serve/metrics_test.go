@@ -83,12 +83,99 @@ func TestMetricsPrometheusText(t *testing.T) {
 		"solverd_cache_hits_total 1",
 		"# TYPE solverd_queue_depth gauge",
 		"solverd_queue_depth 1",
-		"# TYPE solverd_solve_ms histogram",
-		`solverd_solve_ms_bucket{le="+Inf"} 1`,
-		"solverd_solve_ms_count 1",
+		"# TYPE solverd_solve_seconds histogram",
+		`solverd_solve_seconds_bucket{le="+Inf"} 1`,
+		"solverd_solve_seconds_count 1",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("prometheus text missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestPrometheusHistogramExposition pins the histogram exposition text:
+// le bounds and _sum converted to seconds, cumulative bucket counts, and
+// every series ending with the +Inf bucket carrying the full count — the
+// standard Prometheus convention scrapers and recording rules assume.
+func TestPrometheusHistogramExposition(t *testing.T) {
+	cases := []struct {
+		name      string
+		observeMS []float64
+		want      string // exact exposition block of the solve histogram
+	}{
+		{
+			name:      "empty",
+			observeMS: nil,
+			want: `# HELP solverd_solve_seconds LP solve wall clock in seconds
+# TYPE solverd_solve_seconds histogram
+solverd_solve_seconds_bucket{le="0.001"} 0
+solverd_solve_seconds_bucket{le="0.0025"} 0
+solverd_solve_seconds_bucket{le="0.005"} 0
+solverd_solve_seconds_bucket{le="0.01"} 0
+solverd_solve_seconds_bucket{le="0.025"} 0
+solverd_solve_seconds_bucket{le="0.05"} 0
+solverd_solve_seconds_bucket{le="0.1"} 0
+solverd_solve_seconds_bucket{le="0.25"} 0
+solverd_solve_seconds_bucket{le="0.5"} 0
+solverd_solve_seconds_bucket{le="1"} 0
+solverd_solve_seconds_bucket{le="2.5"} 0
+solverd_solve_seconds_bucket{le="5"} 0
+solverd_solve_seconds_bucket{le="10"} 0
+solverd_solve_seconds_bucket{le="30"} 0
+solverd_solve_seconds_bucket{le="60"} 0
+solverd_solve_seconds_bucket{le="+Inf"} 0
+solverd_solve_seconds_sum 0
+solverd_solve_seconds_count 0
+`,
+		},
+		{
+			name:      "two observations",
+			observeMS: []float64{3, 40},
+			want: `# HELP solverd_solve_seconds LP solve wall clock in seconds
+# TYPE solverd_solve_seconds histogram
+solverd_solve_seconds_bucket{le="0.001"} 0
+solverd_solve_seconds_bucket{le="0.0025"} 0
+solverd_solve_seconds_bucket{le="0.005"} 1
+solverd_solve_seconds_bucket{le="0.01"} 1
+solverd_solve_seconds_bucket{le="0.025"} 1
+solverd_solve_seconds_bucket{le="0.05"} 2
+solverd_solve_seconds_bucket{le="0.1"} 2
+solverd_solve_seconds_bucket{le="0.25"} 2
+solverd_solve_seconds_bucket{le="0.5"} 2
+solverd_solve_seconds_bucket{le="1"} 2
+solverd_solve_seconds_bucket{le="2.5"} 2
+solverd_solve_seconds_bucket{le="5"} 2
+solverd_solve_seconds_bucket{le="10"} 2
+solverd_solve_seconds_bucket{le="30"} 2
+solverd_solve_seconds_bucket{le="60"} 2
+solverd_solve_seconds_bucket{le="+Inf"} 2
+solverd_solve_seconds_sum 0.043
+solverd_solve_seconds_count 2
+`,
+		},
+		{
+			name:      "overflow past the last bound",
+			observeMS: []float64{1e9},
+			want: `solverd_solve_seconds_bucket{le="60"} 0
+solverd_solve_seconds_bucket{le="+Inf"} 1
+solverd_solve_seconds_sum 1e+06
+solverd_solve_seconds_count 1
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := newMetrics(nil)
+			for _, ms := range tc.observeMS {
+				m.observeSolve(ms)
+			}
+			var b strings.Builder
+			if err := m.Snapshot().WritePrometheus(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(b.String(), tc.want) {
+				t.Fatalf("exposition text missing block:\n--- want ---\n%s--- got ---\n%s", tc.want, b.String())
+			}
+		})
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -71,6 +72,10 @@ type Config struct {
 	// MaxBodyBytes bounds a /solve request body and a single /sweep line;
 	// 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// Logger, when non-nil, receives one structured request-log record per
+	// HTTP request (method, path, status, duration, request ID). Nil
+	// disables request logging; request IDs are minted either way.
+	Logger *slog.Logger
 }
 
 // The default Config values.
@@ -215,6 +220,7 @@ type task struct {
 	scenario *steadystate.Scenario
 	session  *steadystate.Solver
 	key      string
+	trace    bool
 	enqueued time.Time
 	// done receives exactly one result; buffered so a worker never blocks
 	// on a waiter that gave up.
@@ -248,7 +254,9 @@ type Server struct {
 	closeOnce sync.Once
 	// solveFn runs one admitted scenario on its session; tests substitute
 	// it to make queue timing deterministic.
-	solveFn func(ctx context.Context, session *steadystate.Solver, sc *steadystate.Scenario) (*steadystate.Report, error)
+	solveFn func(ctx context.Context, session *steadystate.Solver, sc *steadystate.Scenario, trace bool) (*steadystate.Report, error)
+	// logger receives the structured request log (nil: logging off).
+	logger *slog.Logger
 }
 
 // New returns a running Server: workers are started and the handler
@@ -272,6 +280,7 @@ func newServer(cfg Config) *Server {
 	}
 	s.metrics = newMetrics(func() int { return len(s.queue) })
 	s.solveFn = solveScenario
+	s.logger = cfg.Logger
 	return s
 }
 
@@ -293,9 +302,13 @@ func (s *Server) start() {
 }
 
 // solveScenario is the production solveFn: solve the spec on the session
-// and reduce the solution to its report.
-func solveScenario(ctx context.Context, session *steadystate.Solver, sc *steadystate.Scenario) (*steadystate.Report, error) {
-	sol, err := session.Solve(ctx, sc.Spec)
+// and reduce the solution to its report, span-traced when asked.
+func solveScenario(ctx context.Context, session *steadystate.Solver, sc *steadystate.Scenario, trace bool) (*steadystate.Report, error) {
+	var opts []steadystate.SolveOption
+	if trace {
+		opts = append(opts, steadystate.WithTrace())
+	}
+	sol, err := session.Solve(ctx, sc.Spec, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -312,7 +325,7 @@ func (s *Server) worker() {
 			t.done <- taskResult{err: err}
 			continue
 		}
-		rep, err := s.solveFn(t.ctx, t.session, t.scenario)
+		rep, err := s.solveFn(t.ctx, t.session, t.scenario, t.trace)
 		if err != nil {
 			t.done <- taskResult{err: err}
 			continue
@@ -380,6 +393,17 @@ func (s *Server) Close() {
 // queue is full, true waits for queue space (or the context). Every error
 // is a *ServiceError.
 func (s *Server) Solve(ctx context.Context, sc *steadystate.Scenario, block bool) (*steadystate.Report, bool, error) {
+	return s.solve(ctx, sc, block, false)
+}
+
+// solve is Solve plus the trace switch (the ?trace=1 handler path): a
+// traced solve runs under WithTrace and returns a Report embedding its
+// span tree. Traced reports cache under their own keyspace — they are a
+// different byte stream than untraced reports, and the untraced path
+// must stay byte-identical whether or not tracing is ever requested.
+// A traced cache hit returns the cold solve's trace verbatim; the
+// handler marks the served copy as replayed.
+func (s *Server) solve(ctx context.Context, sc *steadystate.Scenario, block, trace bool) (*steadystate.Report, bool, error) {
 	s.metrics.enter()
 	defer s.metrics.leave()
 
@@ -395,6 +419,12 @@ func (s *Server) Solve(ctx context.Context, sc *steadystate.Scenario, block bool
 	if err != nil {
 		s.metrics.badRequest()
 		return nil, false, errBadScenario(err)
+	}
+	if trace {
+		// "|" cannot appear in a hex platform hash, so the suffix cannot
+		// collide with an untraced key; platformKeyOf still reads the
+		// session-pool key off the front.
+		key += "|trace"
 	}
 
 	if rep, ok := s.cache.Get(key); ok {
@@ -417,6 +447,7 @@ func (s *Server) Solve(ctx context.Context, sc *steadystate.Scenario, block bool
 		scenario: sc,
 		session:  session,
 		key:      key,
+		trace:    trace,
 		enqueued: time.Now(),
 		done:     make(chan taskResult, 1),
 	}

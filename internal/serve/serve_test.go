@@ -34,7 +34,7 @@ func blockedServer(cfg Config) (*Server, chan struct{}, func()) {
 	s := newServer(cfg)
 	picked := make(chan struct{}, 64)
 	release := make(chan struct{})
-	s.solveFn = func(ctx context.Context, _ *steadystate.Solver, _ *steadystate.Scenario) (*steadystate.Report, error) {
+	s.solveFn = func(ctx context.Context, _ *steadystate.Solver, _ *steadystate.Scenario, _ bool) (*steadystate.Report, error) {
 		picked <- struct{}{}
 		select {
 		case <-release:
@@ -231,7 +231,7 @@ func TestCloseCompletesQueuedWork(t *testing.T) {
 func TestCloseDuringAdmissionDoesNotPanic(t *testing.T) {
 	for round := 0; round < 25; round++ {
 		s := newServer(Config{Workers: 2, QueueDepth: 1, CacheSize: -1})
-		s.solveFn = func(context.Context, *steadystate.Solver, *steadystate.Scenario) (*steadystate.Report, error) {
+		s.solveFn = func(context.Context, *steadystate.Solver, *steadystate.Scenario, bool) (*steadystate.Report, error) {
 			return &steadystate.Report{Kind: steadystate.KindScatter, Throughput: "1"}, nil
 		}
 		s.start()
@@ -293,7 +293,7 @@ func TestSolveErrorClassification(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			s := newServer(Config{Workers: 1, CacheSize: -1})
-			s.solveFn = func(context.Context, *steadystate.Solver, *steadystate.Scenario) (*steadystate.Report, error) {
+			s.solveFn = func(context.Context, *steadystate.Solver, *steadystate.Scenario, bool) (*steadystate.Report, error) {
 				return nil, tc.err
 			}
 			s.start()

@@ -151,6 +151,12 @@ type Options struct {
 	// (in completion order — the deterministic view is the report). Each
 	// line is written with a single Write call.
 	JSONL io.Writer
+	// Trace, when non-nil, enables WithTrace on every solve and receives
+	// one TraceRecord JSON line per solved scenario (in completion order).
+	// The trace is stripped from the report before aggregation, so the
+	// sweep report and the JSONL stream stay byte-identical whether or not
+	// tracing is on.
+	Trace io.Writer
 }
 
 // Record is one line of the JSONL stream: the scenario name plus either
@@ -165,6 +171,16 @@ type Record struct {
 	LPNonZeros int                 `json:"lp_nonzeros,omitempty"`
 	Report     *steadystate.Report `json:"report,omitempty"`
 	Error      string              `json:"error,omitempty"`
+}
+
+// TraceRecord is one line of the trace JSONL stream: the scenario name
+// and kind plus the span-structured solve trace. Trace structure and
+// attributes are deterministic; only the spans' timing blocks vary
+// across runs.
+type TraceRecord struct {
+	Name  string             `json:"name"`
+	Kind  steadystate.Kind   `json:"kind"`
+	Trace *steadystate.Trace `json:"trace"`
 }
 
 // runState is the shared accumulator of one Run: the mutex serializes
@@ -201,6 +217,18 @@ func (st *runState) record(name string, rep *steadystate.Report, solveMS float64
 		if line, err := json.Marshal(rec); err == nil {
 			st.opts.JSONL.Write(append(line, '\n'))
 		}
+	}
+}
+
+// recordTrace streams one solved scenario's trace as a TraceRecord JSONL
+// line, serialized under the same mutex as the result stream. Traces are
+// recorded on their own writer — never in the report — so everything
+// else stays byte-stable with tracing on.
+func (st *runState) recordTrace(name string, kind steadystate.Kind, tr *steadystate.Trace) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if line, err := json.Marshal(TraceRecord{Name: name, Kind: kind, Trace: tr}); err == nil {
+		st.opts.Trace.Write(append(line, '\n'))
 	}
 }
 
@@ -321,7 +349,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*steadystate.SweepRepor
 					solveCtx, cancel = context.WithTimeout(ctx, opts.SolveTimeout)
 				}
 				solveStart := time.Now()
-				rep, err := solveOne(solveCtx, solvers[i], job)
+				rep, err := solveOne(solveCtx, solvers[i], job, opts.Trace != nil)
 				cancel()
 				if err != nil && ctx.Err() != nil {
 					// The whole run was canceled mid-solve: this scenario
@@ -332,6 +360,10 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*steadystate.SweepRepor
 				if err != nil {
 					st.record(job.Name, nil, msSince(solveStart), err)
 					continue
+				}
+				if rep.Trace != nil {
+					st.recordTrace(job.Name, rep.Kind, rep.Trace)
+					rep.Trace = nil
 				}
 				st.record(job.Name, rep, rep.SolveMS, nil)
 			}
@@ -355,8 +387,14 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*steadystate.SweepRepor
 }
 
 // solveOne solves one job on its session and returns the solution report.
-func solveOne(ctx context.Context, solver *steadystate.Solver, job Job) (*steadystate.Report, error) {
-	sol, err := solver.Solve(ctx, job.Scenario.Spec, job.Opts...)
+// With tracing on, WithTrace is appended to a capacity-clipped copy of
+// the job's options so the shared Job slice is never mutated.
+func solveOne(ctx context.Context, solver *steadystate.Solver, job Job, trace bool) (*steadystate.Report, error) {
+	opts := job.Opts
+	if trace {
+		opts = append(opts[:len(opts):len(opts)], steadystate.WithTrace())
+	}
+	sol, err := solver.Solve(ctx, job.Scenario.Spec, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rat"
 )
 
@@ -77,6 +78,16 @@ func (sc *Scenario) Solve(ctx context.Context, opts ...SolveOption) (Solution, e
 	return Solve(ctx, sc.Platform, sc.Spec, opts...)
 }
 
+// Trace, Span and Timing alias the internal observability types so
+// callers can traverse Report.Trace — the span tree of a WithTrace solve
+// — without importing internal packages. See WithTrace for the
+// determinism contract.
+type (
+	Trace  = obs.Trace
+	Span   = obs.Span
+	Timing = obs.Timing
+)
+
 // Report is the serializable summary of a solved collective: exact
 // rationals travel as strings ("2/9"), periods as decimal strings, so
 // reports survive JSON without losing the bit-exactness the framework
@@ -122,6 +133,11 @@ type Report struct {
 	// Weight is the member's weight within its composite (member reports
 	// only), as an exact rational string.
 	Weight string `json:"weight,omitempty"`
+	// Trace is the span-structured solve trace (only when the solve used
+	// WithTrace). Its structure and attributes are deterministic; the
+	// wall-clock measurements live in each span's timing block, strippable
+	// with Trace.WithoutTiming for byte-exact comparison.
+	Trace *obs.Trace `json:"trace,omitempty"`
 }
 
 // newReport fills the fields every kind shares.
