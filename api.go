@@ -537,8 +537,20 @@ func Solve(ctx context.Context, p *Platform, spec Spec, opts ...SolveOption) (So
 // specs on the same platform are faster than repeated cold Solve calls.
 // The platform must not be mutated while the session is in use.
 type Solver struct {
-	p *Platform
+	p     *Platform
+	bases *BasisCache
 }
+
+// BasisCache is an LRU cache of certified simplex bases — the shared
+// warm-start state behind Solver.UseBasisCache (alias of the LP-level
+// cache so serving layers can pool one cache across sessions). It is
+// safe for concurrent use; a nil cache is inert.
+type BasisCache = lp.BasisCache
+
+// NewBasisCache returns a basis cache retaining up to capacity entries
+// with least-recently-used eviction. A capacity <= 0 yields a cache
+// that stores nothing (useful for disabling warm starts via config).
+func NewBasisCache(capacity int) *BasisCache { return lp.NewBasisCache(capacity) }
 
 // NewSolver returns a solving session for the platform.
 func NewSolver(p *Platform) *Solver {
@@ -546,6 +558,24 @@ func NewSolver(p *Platform) *Solver {
 		panic("steadystate: NewSolver on nil platform")
 	}
 	return &Solver{p: p}
+}
+
+// UseBasisCache attaches a warm-start basis cache to the session and
+// returns the session. Every subsequent Solve consults the cache for a
+// certified basis of the same problem shape — keyed by node count and
+// the spec's canonical key, deliberately coarser than the platform
+// content hash so a perturbed platform (cost jitter, speed scaling)
+// still hits — and stores its own certified basis back. The LP-level
+// structural fingerprint guards safety: a basis from a structurally
+// different model (an edge deleted, a row's sense flipped) is rejected
+// and the solve runs cold, so warm starts never change any reported
+// rational — only the pivot path taken to reach it. Report().WarmStart
+// and lp_warm_pivots_saved record the outcome per solve. The cache may
+// be shared across sessions (it is safe for concurrent use); attach it
+// before the first Solve.
+func (s *Solver) UseBasisCache(c *BasisCache) *Solver {
+	s.bases = c
+	return s
 }
 
 // Platform returns the platform the session solves on.
@@ -572,12 +602,31 @@ func (s *Solver) Solve(ctx context.Context, spec Spec, opts ...SolveOption) (Sol
 		tracer.Root().SetAttr("kind", string(spec.Kind))
 		ctx = obs.WithTracer(ctx, tracer)
 	}
+	// With a basis cache attached, offer the cached basis for this problem
+	// shape to the LP (the solve validates it against the structural
+	// fingerprint and falls back to cold when it does not fit) and collect
+	// the freshly certified basis on the way out.
+	var ws *lp.WarmStart
+	var basisKey string
+	if s.bases != nil {
+		if specKey, err := spec.CanonicalKey(); err == nil {
+			basisKey = fmt.Sprintf("%d|%s", s.p.NumNodes(), specKey)
+			ws = &lp.WarmStart{Basis: s.bases.Get(basisKey)}
+			ctx = lp.WithWarmBasis(ctx, ws)
+		}
+	}
 	sol, err := s.solve(ctx, spec, opts...)
 	if err != nil {
 		return nil, err
 	}
 	if t, ok := sol.(durationRecorder); ok {
 		t.setSolveDuration(time.Since(start))
+	}
+	if ws != nil {
+		s.bases.Put(basisKey, ws.Final)
+		if w, ok := sol.(warmRecorder); ok {
+			w.setWarm(ws.Used, ws.RejectReason, ws.PivotsSaved)
+		}
 	}
 	if tracer != nil {
 		if t, ok := sol.(traceRecorder); ok {
@@ -788,9 +837,37 @@ type traceRecorder interface{ setTrace(*obs.Trace) }
 
 func (t *traced) setTrace(tr *obs.Trace) { t.trace = tr }
 
+// warmed stores the warm-start outcome of the Solve call that produced a
+// solution (all zero unless the session had a basis cache attached);
+// every kind-specific solution embeds it so Report can carry
+// warm_start/warm_reject/lp_warm_pivots_saved.
+type warmed struct {
+	warmUsed   bool
+	warmReject string
+	warmSaved  int
+}
+
+// warmRecorder is satisfied by all kind-specific solutions via the
+// embedded warmed.
+type warmRecorder interface {
+	setWarm(used bool, reject string, saved int)
+}
+
+func (w *warmed) setWarm(used bool, reject string, saved int) {
+	w.warmUsed, w.warmReject, w.warmSaved = used, reject, saved
+}
+
+// stamp copies the warm-start outcome onto a report.
+func (w *warmed) stamp(r *Report) {
+	r.WarmStart = w.warmUsed
+	r.WarmReject = w.warmReject
+	r.WarmPivotsSaved = w.warmSaved
+}
+
 type scatterSolution struct {
 	timed
 	traced
+	warmed
 	spec Spec
 	sol  *ScatterSolution
 }
@@ -808,12 +885,14 @@ func (s *scatterSolution) Report() (*Report, error) {
 	r := newReport(KindScatter, s.sol.Throughput(), s.sol.Period(), s.sol.Stats)
 	r.SolveMS = s.solveMS()
 	r.Trace = s.trace
+	s.warmed.stamp(r)
 	return r, nil
 }
 
 type broadcastSolution struct {
 	timed
 	traced
+	warmed
 	spec Spec
 	sol  *BroadcastSolution
 }
@@ -836,12 +915,14 @@ func (s *broadcastSolution) Report() (*Report, error) {
 	r := newReport(KindBroadcast, s.sol.Throughput(), s.sol.Period(), s.sol.Stats)
 	r.SolveMS = s.solveMS()
 	r.Trace = s.trace
+	s.warmed.stamp(r)
 	return r, nil
 }
 
 type gossipSolution struct {
 	timed
 	traced
+	warmed
 	spec Spec
 	sol  *GossipSolution
 }
@@ -859,12 +940,14 @@ func (s *gossipSolution) Report() (*Report, error) {
 	r := newReport(KindGossip, s.sol.Throughput(), s.sol.Period(), s.sol.Stats)
 	r.SolveMS = s.solveMS()
 	r.Trace = s.trace
+	s.warmed.stamp(r)
 	return r, nil
 }
 
 type reduceSolution struct {
 	timed
 	traced
+	warmed
 	spec  Spec
 	sol   *ReduceSolution
 	fixed *big.Int
@@ -933,6 +1016,7 @@ func (s *reduceSolution) Report() (*Report, error) {
 	r := newReport(s.spec.Kind, s.sol.Throughput(), s.sol.Period(), s.sol.Stats)
 	r.SolveMS = s.solveMS()
 	r.Trace = s.trace
+	s.warmed.stamp(r)
 	r.Trees = len(s.trees)
 	if s.plan != nil {
 		r.FixedPeriod = s.plan.Period.String()
@@ -945,6 +1029,7 @@ func (s *reduceSolution) Report() (*Report, error) {
 type prefixSolution struct {
 	timed
 	traced
+	warmed
 	spec Spec
 	sol  *PrefixSolution
 }
@@ -966,6 +1051,7 @@ func (s *prefixSolution) Report() (*Report, error) {
 	r := newReport(KindPrefix, s.sol.Throughput(), s.sol.Period(), s.sol.Stats)
 	r.SolveMS = s.solveMS()
 	r.Trace = s.trace
+	s.warmed.stamp(r)
 	return r, nil
 }
 
@@ -980,6 +1066,7 @@ type Concurrent interface {
 type compositeSolution struct {
 	timed
 	traced
+	warmed
 	spec        Spec
 	memberSpecs []Spec
 	sol         *composite.Solution
@@ -1034,6 +1121,7 @@ func (s *compositeSolution) Report() (*Report, error) {
 	r := newReport(s.spec.Kind, s.sol.TP, s.sol.Period(), s.sol.Stats)
 	r.SolveMS = s.solveMS()
 	r.Trace = s.trace
+	s.warmed.stamp(r)
 	for i, ms := range s.sol.Members {
 		mr := newReport(s.memberSpecs[i].Kind, ms.Throughput, ms.Period(), s.sol.Stats)
 		mr.Weight = ms.Weight.RatString()

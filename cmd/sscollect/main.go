@@ -15,6 +15,7 @@
 //	sscollect -platform p.json -op allreduce -order n0,n1,n2 -schedule
 //	sscollect -platform scenario.json -report report.json
 //	sscollect -op trace -in traces.jsonl -top 5   # summarize a sweep trace JSONL
+//	sscollect -op warm -in warm.jsonl             # summarize a warm sweep's cold-vs-warm deltas
 //
 // A scenario file (cmd/topogen -spec) carries both the platform and the
 // collective spec, so -op and the role flags become optional overrides;
@@ -50,7 +51,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		platformFile = fs.String("platform", "", "platform or scenario JSON file, or fig2|fig6|fig9")
-		op           = fs.String("op", "", "collective: scatter|broadcast|gossip|reduce|gather|prefix|reducescatter|allreduce (default: the scenario's spec, else scatter), or trace to summarize a sweep trace JSONL")
+		op           = fs.String("op", "", "collective: scatter|broadcast|gossip|reduce|gather|prefix|reducescatter|allreduce (default: the scenario's spec, else scatter), or trace/warm to summarize a sweep's trace/result JSONL")
 		source       = fs.String("source", "", "scatter source node name")
 		sources      = fs.String("sources", "", "gossip source names, comma separated")
 		targets      = fs.String("targets", "", "scatter/gossip target names, comma separated")
@@ -64,7 +65,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		simulate     = fs.Int("simulate", 0, "simulate the protocol for N periods")
 		latency      = fs.Bool("latency", false, "with -simulate: also report per-operation pipeline latency")
 		reportFile   = fs.String("report", "", "write the solution summary as JSON to this file")
-		traceIn      = fs.String("in", "", "with -op trace: sweep trace JSONL to summarize (\"-\": stdin)")
+		traceIn      = fs.String("in", "", "with -op trace or -op warm: sweep JSONL to summarize (\"-\": stdin)")
 		topSpans     = fs.Int("top", 5, "with -op trace: slowest spans to list")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +76,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// Trace summarization is an offline aggregation — no platform, no
 		// solve — so it branches before scenario loading.
 		return traceSummary(*traceIn, *topSpans, stdout)
+	}
+	if *op == "warm" {
+		// Likewise offline: per-chain cold-vs-warm deltas from a warm
+		// sweep's result JSONL.
+		return warmSummary(*traceIn, stdout)
 	}
 
 	sc, err := loadScenario(*platformFile)

@@ -1,0 +1,142 @@
+// warm.go implements sscollect -op warm: offline summarization of a
+// warm sweep's JSONL result stream (cmd/sweep -warm -jsonl). Records are
+// grouped into perturbation chains by name stem; each chain's head (the
+// unperturbed base, solved cold) anchors the cold-versus-warm comparison
+// of phase-1 pivots and solve time. Pivot columns are exact counters and
+// deterministic; the millisecond columns are measurement.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/sweep"
+)
+
+// warmChain accumulates one perturbation chain's records in name order.
+type warmChain struct {
+	name    string
+	members int
+	// Head (chain base, cold) pivots and solve time.
+	headPhase1 int
+	headMS     float64
+	// Totals across the non-head members (the warm-eligible solves).
+	restPhase1 int
+	restMS     float64
+	warmStarts int
+	saved      int
+}
+
+// warmSummary aggregates a warm sweep JSONL into per-chain cold-vs-warm
+// deltas and a reject-reason histogram.
+func warmSummary(path string, stdout io.Writer) error {
+	if path == "" {
+		return fmt.Errorf("-op warm needs -in (a result JSONL from sweep -warm -jsonl, \"-\": stdin)")
+	}
+	var in io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("open -in: %w", err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	// Records arrive in completion order; collect and name-sort so the
+	// summary is deterministic and each chain's head (-p00, sorting first)
+	// is identified by position.
+	var recs []sweep.Record
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(nil, 64<<20)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec sweep.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("parse line %d: %w", lineNo, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := scanner.Err(); err != nil {
+		return fmt.Errorf("read -in: %w", err)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
+
+	chains := make(map[string]*warmChain)
+	var order []string
+	rejects := make(map[string]int)
+	warmStarts, warmRejects, failed := 0, 0, 0
+	for _, rec := range recs {
+		if rec.Error != "" || rec.Report == nil {
+			failed++
+			continue
+		}
+		rep := rec.Report
+		key := sweep.ChainKey(rec.Name)
+		ch := chains[key]
+		if ch == nil {
+			ch = &warmChain{name: key}
+			chains[key] = ch
+			order = append(order, key)
+		}
+		ch.members++
+		if ch.members == 1 {
+			ch.headPhase1 = rep.LPPhase1Pivots
+			ch.headMS = rec.SolveMS
+		} else {
+			ch.restPhase1 += rep.LPPhase1Pivots
+			ch.restMS += rec.SolveMS
+		}
+		if rep.WarmStart {
+			ch.warmStarts++
+			ch.saved += rep.WarmPivotsSaved
+			warmStarts++
+		}
+		if rep.WarmReject != "" {
+			rejects[rep.WarmReject]++
+			warmRejects++
+		}
+	}
+
+	fmt.Fprintf(stdout, "warm sweep summary: %d chain(s), %d scenario(s), %d failed\n",
+		len(order), len(recs)-failed, failed)
+	fmt.Fprintf(stdout, "warm_starts %d  warm_rejects %d\n\n", warmStarts, warmRejects)
+
+	tw := tabwriter.NewWriter(stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "chain\tmembers\twarm\thead_phase1\twarm_phase1\tpivots_saved\thead_ms\twarm_mean_ms\t")
+	for _, key := range order {
+		ch := chains[key]
+		meanMS := 0.0
+		if ch.members > 1 {
+			meanMS = ch.restMS / float64(ch.members-1)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.3f\t%.3f\t\n",
+			ch.name, ch.members, ch.warmStarts, ch.headPhase1, ch.restPhase1, ch.saved, ch.headMS, meanMS)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if len(rejects) > 0 {
+		reasons := make([]string, 0, len(rejects))
+		for r := range rejects {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		fmt.Fprintf(stdout, "\nreject reasons:\n")
+		for _, r := range reasons {
+			fmt.Fprintf(stdout, "  %s  %d\n", r, rejects[r])
+		}
+	}
+	return nil
+}

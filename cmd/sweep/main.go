@@ -15,11 +15,19 @@
 //	sweep -dir s/ -shard 0/4                   # this process solves shard 0 of 4
 //	sweep -dir s/ -out report.json -jsonl log.jsonl
 //	sweep -dir s/ -trace traces.jsonl          # span-structured solve traces, one line per scenario
+//	sweep -dir chains/ -warm                   # warm-start each perturbation chain through a basis cache
 //
 // The end-to-end pipeline from a single seed (generate → sweep):
 //
 //	topogen -kind tiers -count 16 -seed 42 -spec -op scatter -out scenarios/
 //	sweep -dir scenarios/ -jobs 8 -out report.json
+//
+// The warm-start pipeline over perturbation chains (generate chains of
+// slightly-mutated platforms, then re-solve each chain incrementally —
+// throughputs are bit-identical to a cold sweep, phase-1 pivots are not):
+//
+//	topogen -kind tiers -count 4 -perturb 8 -seed 42 -spec -op scatter -out chains/
+//	sweep -dir chains/ -warm -out warm.json
 //
 // Everything in the report except its "timing" block is deterministic:
 // -jobs 1 and -jobs 8 produce identical aggregates, and complementary
@@ -72,6 +80,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		out     = fs.String("out", "", "write the aggregated SweepReport JSON here (default stdout)")
 		jsonl   = fs.String("jsonl", "", "stream one JSON line per completed scenario to this file (\"-\": stderr)")
 		trace   = fs.String("trace", "", "solve with tracing and stream one trace JSON line per solved scenario to this file (\"-\": stderr)")
+		warm    = fs.Bool("warm", false, "warm-start perturbation chains: group scenarios by name stem (topogen -perturb suffixes), solve each chain in order through a shared basis cache")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,7 +99,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("no scenarios to sweep (use -dir and/or file arguments)")
 	}
 
-	opts := sweep.Options{Jobs: *jobs, SolveTimeout: *timeout}
+	opts := sweep.Options{Jobs: *jobs, SolveTimeout: *timeout, Warm: *warm}
 	if *shard != "" {
 		// Strict i/n parsing: trailing garbage must not silently run the
 		// wrong split in a multi-process deployment.

@@ -10,6 +10,7 @@
 //	topogen -kind fig9 -dot
 //	topogen -kind tiers -spec -op reduce -out scenario.json
 //	topogen -kind tiers -count 16 -seed 42 -spec -op scatter -out scenarios/
+//	topogen -kind tiers -count 4 -perturb 8 -seed 42 -spec -op scatter -out chains/
 //
 // Kinds: star, chain, ring, grid, tree, connected, tiers, fig2, fig6, fig9.
 //
@@ -31,6 +32,13 @@
 // generated with seed S+i. Batches are fully deterministic — the same
 // -seed reproduces byte-identical files — so an entire sweep is
 // reproducible from a single seed.
+//
+// With -perturb K (alongside -count), every scenario heads a chain of K
+// cumulatively perturbed variants — exact-rational cost jitter, node
+// speed rescales, the occasional single-edge deletion, all within the
+// magnitude set by -jitter — written as <kind>-NNNN-p00.json (the base)
+// through -pKK.json. The whole chain shares one spec, so cmd/sweep -warm
+// can re-solve it incrementally through a warm-start basis cache.
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
 
@@ -71,6 +80,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		op       = fs.String("op", "", "collective kind for -spec: scatter|broadcast|gossip|reduce|gather|prefix|reducescatter|allreduce (default: the figure's canonical collective, else scatter)")
 		ranks    = fs.Int("ranks", 0, "cap the number of participants the -spec roles involve (0: all participants)")
 		count    = fs.Int("count", 0, "emit a batch of this many numbered scenario files into the -out directory, scenario i seeded with -seed+i")
+		perturb  = fs.Int("perturb", 0, "with -count, emit a chain of this many cumulatively perturbed variants after each base scenario (files <kind>-NNNN-pMM.json, p00 the base)")
+		jitter   = fs.String("jitter", "1/10", "perturbation magnitude as an exact rational in [0,1): each mutation scales costs or speeds by factors within 1±jitter")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,7 +104,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *dot {
 			return fmt.Errorf("-count emits scenario batches, not DOT")
 		}
-		return runBatch(cfg, *count, *seed, steadystate.Kind(*op), *out, stderr)
+		j, err := steadystate.ParseRat(*jitter)
+		if err != nil {
+			return fmt.Errorf("bad -jitter: %w", err)
+		}
+		if j.Sign() < 0 || j.Cmp(steadystate.R(1, 1)) >= 0 {
+			return fmt.Errorf("bad -jitter %q: must be in [0,1) to keep costs and speeds positive", *jitter)
+		}
+		if *perturb < 0 {
+			return fmt.Errorf("bad -perturb: %d is negative", *perturb)
+		}
+		return runBatch(cfg, *count, *perturb, j, *seed, steadystate.Kind(*op), *out, stderr)
 	}
 
 	p, figSpec, validate, err := cfg.build(*seed)
@@ -202,11 +223,15 @@ func (g genConfig) build(seed int64) (p *steadystate.Platform, figSpec *steadyst
 
 // runBatch synthesizes a deterministic scenario batch for cmd/sweep:
 // count numbered files in the out directory, scenario i built with seed
-// base+i. The same base seed reproduces byte-identical files.
-func runBatch(cfg genConfig, count int, baseSeed int64, op steadystate.Kind, out string, stderr io.Writer) error {
+// base+i. With perturb > 0 every scenario heads a chain of perturb
+// cumulatively mutated variants (files <kind>-NNNN-p00.json … -pKK.json,
+// p00 the unperturbed base) sharing one spec — the corpus of a
+// warm-started sweep. The same base seed reproduces byte-identical files.
+func runBatch(cfg genConfig, count, perturb int, jitter steadystate.Rat, baseSeed int64, op steadystate.Kind, out string, stderr io.Writer) error {
 	if out == "" {
 		return fmt.Errorf("-count needs -out (a directory for the scenario files)")
 	}
+	files := 0
 	for i := 0; i < count; i++ {
 		p, figSpec, validate, err := cfg.build(baseSeed + int64(i))
 		if err != nil {
@@ -217,29 +242,44 @@ func runBatch(cfg genConfig, count int, baseSeed int64, op steadystate.Kind, out
 				return fmt.Errorf("scenario %d: generated platform invalid: %w", i, err)
 			}
 		}
+		// The spec is minted once from the base platform and shared by the
+		// whole chain: mutations preserve the node set, so the roles stay
+		// valid, and an identical spec is what lets a warm sweep's basis
+		// cache key match along the chain.
 		spec, err := defaultSpec(p, op, figSpec, cfg.ranks)
 		if err != nil {
 			return fmt.Errorf("scenario %d: %w", i, err)
 		}
-		sc := &steadystate.Scenario{Platform: p, Spec: spec}
-		data, err := json.MarshalIndent(sc, "", "  ")
-		if err != nil {
-			return fmt.Errorf("scenario %d: marshal: %w", i, err)
-		}
-		if i == 0 {
-			// Create the directory only once the first scenario exists, so
-			// flag mistakes don't leave empty directories behind.
-			if err := os.MkdirAll(out, 0o755); err != nil {
-				return fmt.Errorf("create -out directory: %w", err)
+		rng := rand.New(rand.NewSource(baseSeed + int64(i)))
+		for v := 0; v <= perturb; v++ {
+			if v > 0 {
+				p = perturbed(p, rng, jitter, validate)
 			}
-		}
-		path := filepath.Join(out, fmt.Sprintf("%s-%04d.json", cfg.kind, i))
-		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-			return fmt.Errorf("write %s: %w", path, err)
+			sc := &steadystate.Scenario{Platform: p, Spec: spec}
+			data, err := json.MarshalIndent(sc, "", "  ")
+			if err != nil {
+				return fmt.Errorf("scenario %d: marshal: %w", i, err)
+			}
+			if files == 0 {
+				// Create the directory only once the first scenario exists,
+				// so flag mistakes don't leave empty directories behind.
+				if err := os.MkdirAll(out, 0o755); err != nil {
+					return fmt.Errorf("create -out directory: %w", err)
+				}
+			}
+			name := fmt.Sprintf("%s-%04d.json", cfg.kind, i)
+			if perturb > 0 {
+				name = fmt.Sprintf("%s-%04d-p%02d.json", cfg.kind, i, v)
+			}
+			path := filepath.Join(out, name)
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				return fmt.Errorf("write %s: %w", path, err)
+			}
+			files++
 		}
 	}
 	fmt.Fprintf(stderr, "wrote %d %s scenarios to %s (seeds %d..%d)\n",
-		count, cfg.kind, out, baseSeed, baseSeed+int64(count)-1)
+		files, cfg.kind, out, baseSeed, baseSeed+int64(count)-1)
 	return nil
 }
 

@@ -1,0 +1,88 @@
+// perturb.go generates perturbation chains: sequences of slightly-mutated
+// copies of a base platform, the input corpus of warm-started sweeps
+// (cmd/sweep -warm). Mutations are cumulative — chain member j+1 mutates
+// member j — and exact: every factor is a rational, so the chain is
+// byte-reproducible from its seed. The node set never changes (node IDs
+// and therefore the scenario spec stay valid along the whole chain); most
+// mutations preserve the LP's structural fingerprint (cost jitter, speed
+// rescale), while the occasional edge deletion changes it, exercising the
+// warm-start reject path downstream.
+package main
+
+import (
+	"math/rand"
+
+	steadystate "repro"
+	"repro/internal/rat"
+)
+
+// perturbed returns one mutation of the platform, driven by the chain's
+// rng: usually a cost jitter over every edge, sometimes a single node's
+// speed rescale, occasionally a single edge deletion. Deletions are
+// guarded by Validate — a mutation that would break mutual connectivity
+// falls back to jitter — and skipped entirely when the base platform
+// itself does not validate (the paper's one-directional figure
+// platforms).
+func perturbed(p *steadystate.Platform, rng *rand.Rand, jitter steadystate.Rat, allowDelete bool) *steadystate.Platform {
+	nodes := p.Nodes()
+	edges := p.Edges()
+	switch pick := rng.Intn(8); {
+	case pick == 0 && allowDelete && len(edges) > 1:
+		i := rng.Intn(len(edges))
+		rest := append(append([]steadystate.Edge(nil), edges[:i]...), edges[i+1:]...)
+		if q := rebuild(nodes, rest); q.Validate() == nil {
+			return q
+		}
+		return rebuild(nodes, jitterEdges(edges, rng, jitter))
+	case pick == 1:
+		var computing []int
+		for i, n := range nodes {
+			if !n.Router {
+				computing = append(computing, i)
+			}
+		}
+		if len(computing) == 0 {
+			return rebuild(nodes, jitterEdges(edges, rng, jitter))
+		}
+		scaled := append([]steadystate.Node(nil), nodes...)
+		i := computing[rng.Intn(len(computing))]
+		scaled[i].Speed = rat.Mul(scaled[i].Speed, factor(rng, jitter))
+		return rebuild(scaled, edges)
+	default:
+		return rebuild(nodes, jitterEdges(edges, rng, jitter))
+	}
+}
+
+// factor draws an exact multiplicative perturbation 1 + jitter·k/8 with
+// k uniform in [-8, 8]; jitter < 1 keeps it strictly positive.
+func factor(rng *rand.Rand, jitter steadystate.Rat) steadystate.Rat {
+	k := int64(rng.Intn(17) - 8)
+	return rat.Add(rat.One(), rat.Mul(jitter, rat.New(k, 8)))
+}
+
+// jitterEdges rescales every edge cost by its own random factor.
+func jitterEdges(edges []steadystate.Edge, rng *rand.Rand, jitter steadystate.Rat) []steadystate.Edge {
+	out := append([]steadystate.Edge(nil), edges...)
+	for i := range out {
+		out[i].Cost = rat.Mul(out[i].Cost, factor(rng, jitter))
+	}
+	return out
+}
+
+// rebuild reassembles a platform from explicit node and edge lists.
+// Nodes are re-added in ID order, so the copy assigns the same NodeIDs
+// and every spec minted against the original stays valid.
+func rebuild(nodes []steadystate.Node, edges []steadystate.Edge) *steadystate.Platform {
+	q := steadystate.NewPlatform()
+	for _, n := range nodes {
+		if n.Router {
+			q.AddRouter(n.Name)
+		} else {
+			q.AddNode(n.Name, n.Speed)
+		}
+	}
+	for _, e := range edges {
+		q.AddEdge(e.From, e.To, e.Cost)
+	}
+	return q
+}

@@ -1,0 +1,36 @@
+package basisflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/basisflow"
+)
+
+// TestFlaggedInScope checks that hand-built Basis/WarmStart values and
+// the mid-stack WithWarmBasis handoff are caught when the fixture poses
+// as a package under internal/core, while Solution.Basis and the
+// read-only accessors stay legal.
+func TestFlaggedInScope(t *testing.T) {
+	analysistest.Run(t, basisflow.Analyzer, "testdata/flagged", "repro/internal/core/fixture")
+}
+
+// TestFlaggedFixtureQuietOutOfScope re-checks the same code under a
+// neutral import path: the scope gate must silence it.
+func TestFlaggedFixtureQuietOutOfScope(t *testing.T) {
+	diags := analysistest.Diagnostics(t, basisflow.Analyzer, "testdata/flagged", "repro/internal/tools/fixture")
+	for _, d := range diags {
+		if d.Analyzer == "basisflow" {
+			t.Errorf("out-of-scope package flagged: %s", d)
+		}
+	}
+}
+
+// TestCleanOutOfScope checks the edge idiom — wrapping a cached basis
+// in a WarmStart and decorating the context — stays quiet outside the
+// solver scope.
+func TestCleanOutOfScope(t *testing.T) {
+	if diags := analysistest.Diagnostics(t, basisflow.Analyzer, "testdata/clean", "repro/internal/tools/fixture"); len(diags) != 0 {
+		t.Fatalf("clean fixture flagged: %v", diags)
+	}
+}

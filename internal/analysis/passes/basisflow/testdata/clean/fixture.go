@@ -1,0 +1,18 @@
+// Package fixture exercises basisflow's scope gate: minting a
+// WarmStart and decorating the context is exactly what the session edge
+// (Solver.Solve in the root package) does, so the same code under a
+// neutral import path must produce no findings.
+package fixture
+
+import (
+	"context"
+
+	"repro/internal/lp"
+)
+
+// Root offers a cached basis to the next solve — the edge's legitimate
+// move.
+func Root(ctx context.Context, cached *lp.Basis) (context.Context, *lp.WarmStart) {
+	ws := &lp.WarmStart{Basis: cached}
+	return lp.WithWarmBasis(ctx, ws), ws
+}

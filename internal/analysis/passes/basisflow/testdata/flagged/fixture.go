@@ -1,0 +1,34 @@
+// Package fixture exercises basisflow: this file is type-checked under
+// an import path inside a solver package, where warm-start state may
+// only be observed, never minted.
+package fixture
+
+import (
+	"context"
+
+	"repro/internal/lp"
+)
+
+// Forge hand-builds warm-start state and installs it mid-stack — every
+// step is flagged.
+func Forge(ctx context.Context) context.Context {
+	b := &lp.Basis{}                 // want "lp.Basis composite literal below the solve root"
+	ws := &lp.WarmStart{Basis: b}    // want "lp.WarmStart composite literal below the solve root"
+	return lp.WithWarmBasis(ctx, ws) // want "lp.WithWarmBasis below the solve root"
+}
+
+// Zero forges the zero value through new — just as much a counterfeit
+// certificate as a literal.
+func Zero() *lp.Basis {
+	return new(lp.Basis) // want "new\\(lp.Basis\\) below the solve root"
+}
+
+// Observe reads a certified basis the sanctioned way: extraction from a
+// Solution and the read-only accessors stay legal.
+func Observe(sol *lp.Solution) (int, string) {
+	b := sol.Basis()
+	if b == nil {
+		return 0, ""
+	}
+	return b.Size(), b.Fingerprint()
+}

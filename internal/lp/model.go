@@ -365,8 +365,27 @@ type Solution struct {
 	Iterations int
 	// Phase1Iterations is the number of those pivots spent in phase 1
 	// (finding a feasible basis, including driving artificials out); zero
-	// when the initial basis was already feasible.
+	// when the initial basis was already feasible. A warm-started solve
+	// skips phase 1, and the eliminations that restored the warm basis are
+	// factorization rather than search — they appear as rebuild_pivots on
+	// the lp.warmstart trace span, not in Iterations or here.
 	Phase1Iterations int
+
+	// WarmUsed reports whether this solve started from a warm basis
+	// offered via WithWarmBasis.
+	WarmUsed bool
+	// WarmRejectReason is the WarmReject* constant explaining a declined
+	// warm basis; empty when none was offered or the offer was used.
+	WarmRejectReason string
+	// WarmPivotsSaved estimates the phase-1 pivots avoided relative to
+	// the solve that minted the warm basis; zero unless WarmUsed.
+	WarmPivotsSaved int
+
+	// basisCols / fingerprint / nCols snapshot the certified basis and the
+	// model structure it belongs to, for Solution.Basis.
+	basisCols   []int
+	fingerprint string
+	nCols       int
 }
 
 // Value returns the value assigned to v.

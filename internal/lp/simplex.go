@@ -103,6 +103,10 @@ type tableau interface {
 	// with a nonzero entry in row i among columns not skipped, and the
 	// entry's sign; (-1, 0) when the row is zero over those columns.
 	firstNonzero(i int, skip []bool) (col, sign int)
+	// colSign returns the sign of row i's entry in column c — the warm
+	// basis rebuild's pivot-row probe. Both implementations answer from
+	// the same normalized rows, so the rebuild is representation-invariant.
+	colSign(i, c int) int
 	// negateRow flips the sign of every entry of row i.
 	negateRow(i int)
 	// dropRow removes row i (and its basis slot).
@@ -299,9 +303,21 @@ func (t *denseTableau) negateRow(i int) {
 	}
 }
 
+func (t *denseTableau) colSign(i, c int) int { return t.rows[i].n[c].Sign() }
+
+// dropRow splices row i out with explicit copies. The earlier
+// append-based splice (`append(t.rows[:i], t.rows[i+1:]...)`) shifted in
+// place but left the dropped row aliased past the new length in the
+// backing array — a stale *row kept alive (and, symmetrically in the
+// sparse tableau, scratch-buffer-sharing rows kept reachable) for the
+// lifetime of the solve. Clearing the vacated tail slot severs the alias.
 func (t *denseTableau) dropRow(i int) {
-	t.rows = append(t.rows[:i], t.rows[i+1:]...)
-	t.basis = append(t.basis[:i], t.basis[i+1:]...)
+	n := len(t.rows)
+	copy(t.rows[i:], t.rows[i+1:])
+	t.rows[n-1] = nil
+	t.rows = t.rows[:n-1]
+	copy(t.basis[i:], t.basis[i+1:])
+	t.basis = t.basis[:n-1]
 }
 
 func (t *denseTableau) installPhase1(art []bool) {
@@ -347,7 +363,10 @@ func (t *denseTableau) pivot(pr, pc int) {
 		}
 		t.eliminate(ri, prow, p, pc)
 	}
-	t.eliminate(t.obj, prow, p, pc)
+	if t.obj != nil {
+		// Warm-basis rebuild pivots run before any objective is installed.
+		t.eliminate(t.obj, prow, p, pc)
+	}
 	// Row pr itself: divide by the pivot, i.e. its denominator becomes the
 	// old pivot numerator (entries unchanged).
 	prow.d = new(big.Int).Set(p)
@@ -467,20 +486,20 @@ func (t *denseTableau) eliminateRational(z *row, r *row, col int) {
 // ErrInfeasible / ErrUnbounded.
 func (m *Model) Solve() (*Solution, error) { return m.SolveCtx(context.Background()) }
 
-// SolveCtx is Solve honoring context cancellation: the simplex loop checks
-// ctx between pivots and returns an error wrapping ctx.Err() when the
-// context is canceled or its deadline expires. The context also selects
-// the tableau representation (WithTableau; sparse by default).
-func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
-	nStruct := len(m.names)
+// normRow is one constraint row in solver-normal form: canonical sorted
+// terms, a sense, and (after normalization) a nonnegative right-hand side.
+type normRow struct {
+	terms Expr // sorted by Var, duplicates merged
+	sense Sense
+	rhs   rat.Rat
+}
 
-	// Assemble the constraint rows: model constraints (already canonical
-	// sorted-sparse vectors) plus upper bounds.
-	type normRow struct {
-		terms Expr // sorted by Var, duplicates merged
-		sense Sense
-		rhs   rat.Rat
-	}
+// normalizedRows assembles the constraint rows the simplex sees — model
+// constraints (already canonical sorted-sparse vectors) plus upper
+// bounds — and normalizes right-hand sides to be nonnegative (negating a
+// row flips its sense). The structural fingerprint hashes exactly this
+// list, so any drift visible here rejects a warm basis.
+func (m *Model) normalizedRows() []normRow {
 	var rowsIn []normRow
 	for _, c := range m.cons {
 		rowsIn = append(rowsIn, normRow{c.Expr, c.Sense, rat.Copy(c.RHS)})
@@ -491,8 +510,6 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 		}
 		rowsIn = append(rowsIn, normRow{NewExpr().Plus1(Var(v)), Leq, rat.Copy(u)})
 	}
-
-	// Normalize to nonnegative right-hand sides.
 	for i := range rowsIn {
 		if rowsIn[i].rhs.Sign() < 0 {
 			neg := make(Expr, len(rowsIn[i].terms))
@@ -509,26 +526,14 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 			}
 		}
 	}
+	return rowsIn
+}
 
-	// Column layout: structural | slacks | artificials | rhs.
-	nSlack := 0
-	nArt := 0
-	for _, r := range rowsIn {
-		if r.sense != Eq {
-			nSlack++
-		}
-		if r.sense != Leq {
-			nArt++
-		}
-	}
-	nCols := nStruct + nSlack + nArt
-	budget := blandBudget(len(rowsIn), nCols, m.blandOverride)
-	t := newTableau(TableauFrom(ctx), nCols, budget)
-
-	// With a tracer in ctx, each stage below opens a span; undecorated
-	// contexts yield nil spans and nil recorders, whose methods no-op.
-	_, rowsSpan := obs.StartSpan(ctx, "lp.rows")
-
+// buildTableau assembles a fresh tableau in the initial (slack/artificial)
+// basis from normalized rows. Column layout: structural | slacks |
+// artificials | rhs. Returns the tableau and the artificial-column mask.
+func buildTableau(impl TableauImpl, rowsIn []normRow, nStruct, nSlack, nCols, budget int) (tableau, []bool) {
+	t := newTableau(impl, nCols, budget)
 	slackAt := nStruct
 	artAt := nStruct + nSlack
 	artCols := make([]bool, nCols)
@@ -566,6 +571,72 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 		}
 		t.addRow(entries, den, basic)
 	}
+	return t, artCols
+}
+
+// driveOutArtificials removes every artificial column from the basis once
+// all artificials sit at value zero: pivot each artificial-basic row on
+// its first nonzero non-artificial column (negating first when the entry
+// is negative — the row's rhs is 0, so feasibility is unaffected), or
+// drop the row entirely when it is zero over those columns (a redundant
+// constraint).
+func driveOutArtificials(t tableau, artCols []bool) {
+	for i := 0; i < t.nRows(); i++ {
+		if !artCols[t.basic(i)] {
+			continue
+		}
+		piv, sign := t.firstNonzero(i, artCols)
+		if piv == -1 {
+			t.dropRow(i)
+			i--
+			continue
+		}
+		if sign < 0 {
+			t.negateRow(i)
+		}
+		t.pivot(i, piv)
+	}
+}
+
+// finalBasis snapshots the basic column of every surviving row, in row
+// order — the raw material of Solution.Basis.
+func finalBasis(t tableau) []int {
+	cols := make([]int, t.nRows())
+	for i := range cols {
+		cols[i] = t.basic(i)
+	}
+	return cols
+}
+
+// SolveCtx is Solve honoring context cancellation: the simplex loop checks
+// ctx between pivots and returns an error wrapping ctx.Err() when the
+// context is canceled or its deadline expires. The context also selects
+// the tableau representation (WithTableau; sparse by default) and may
+// offer a warm-start basis (WithWarmBasis; cold by default).
+func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
+	nStruct := len(m.names)
+	rowsIn := m.normalizedRows()
+
+	// Column layout: structural | slacks | artificials | rhs.
+	nSlack := 0
+	nArt := 0
+	for _, r := range rowsIn {
+		if r.sense != Eq {
+			nSlack++
+		}
+		if r.sense != Leq {
+			nArt++
+		}
+	}
+	nCols := nStruct + nSlack + nArt
+	budget := blandBudget(len(rowsIn), nCols, m.blandOverride)
+	impl := TableauFrom(ctx)
+	fp := structuralFingerprint(nStruct, rowsIn)
+
+	// With a tracer in ctx, each stage below opens a span; undecorated
+	// contexts yield nil spans and nil recorders, whose methods no-op.
+	_, rowsSpan := obs.StartSpan(ctx, "lp.rows")
+	t, artCols := buildTableau(impl, rowsIn, nStruct, nSlack, nCols, budget)
 	rowsSpan.SetAttr("rows", t.nRows())
 	rowsSpan.SetAttr("structural", nStruct)
 	rowsSpan.SetAttr("slacks", nSlack)
@@ -573,14 +644,63 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 	rowsSpan.SetAttr("nonzeros", t.nonzeros())
 	rowsSpan.End()
 
+	// Warm start: when the context offers a certified basis whose
+	// structural fingerprint matches this model, pivot the tableau
+	// directly into that basis. If the rebuilt basis is primal-feasible
+	// for the new right-hand side, phase 1 is skipped entirely; otherwise
+	// the half-rebuilt tableau is discarded and a cold phase 1 runs,
+	// seeded with ratio-test pivots toward the warm basis.
+	warm := checkWarmBasis(warmTake(ctx), fp, t.nRows(), nCols, artCols)
+	warmOK := false
+	rebuildPivots := 0
+	if warm != nil && warm.cols != nil {
+		ok := rebuildWarmBasis(t, warm.cols, nCols)
+		warmOK = ok && warmFeasible(t, artCols)
+		switch {
+		case !ok:
+			warm.reason = WarmRejectSingular
+		case !warmOK:
+			warm.reason = WarmRejectInfeasible
+		}
+		rebuildPivots = t.pivotCount()
+		warmSpan(ctx, len(warm.cols), warmOK, warm.reason, rebuildPivots)
+		if !warmOK {
+			t, artCols = buildTableau(impl, rowsIn, nStruct, nSlack, nCols, budget)
+			rebuildPivots = 0
+		}
+	} else if warm != nil && warm.ws.Basis != nil {
+		warmSpan(ctx, warm.ws.Basis.Size(), false, warm.reason, 0)
+	}
+
 	// Phase 1: minimize the sum of artificials, i.e. maximize −Σa. The
 	// reduced-cost row starts as +1 on artificial columns, then basic
-	// columns are eliminated (each artificial is basic in its row).
+	// columns are eliminated (each artificial is basic in its row). A
+	// feasible warm basis replaces all of this entirely: the eliminations
+	// that restored the warm basis are factorization, not simplex
+	// iterations, so they live on the lp.warmstart span (rebuild_pivots)
+	// and are excluded from every pivot counter — the counters measure
+	// search, and a warm start's point is that the search is already done.
 	phase1Pivots := 0
-	if nArt > 0 {
+	if warmOK {
+		// Leftover basic artificials (possible when the originating solve
+		// dropped redundant rows) sit at value zero — warmFeasible checked
+		// — so the standard drive-out applies.
+		driveOutArtificials(t, artCols)
+		t.markDead(artCols)
+		phase1Pivots = t.pivotCount() - rebuildPivots
+		if phase1Pivots > 0 {
+			_, p1Span := obs.StartSpan(ctx, "lp.phase1")
+			rec := newPivotRecorder(p1Span, nCols+1)
+			rec.finish(p1Span, t, phase1Pivots)
+			p1Span.End()
+		}
+	} else if nArt > 0 {
 		_, p1Span := obs.StartSpan(ctx, "lp.phase1")
 		rec := newPivotRecorder(p1Span, nCols+1)
 		t.installPhase1(artCols)
+		if warm != nil && warm.reason == WarmRejectInfeasible {
+			seedPhase1(t, warm.cols, nCols)
+		}
 		if err := iterate(ctx, t, rec); err != nil {
 			if errors.Is(err, ErrUnbounded) {
 				// Phase 1 objective is bounded (≥ −Σb); unbounded here means
@@ -593,26 +713,7 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 		if t.objRHSSign() != 0 {
 			return nil, ErrInfeasible
 		}
-		// Drive remaining artificials out of the basis.
-		for i := 0; i < t.nRows(); i++ {
-			if !artCols[t.basic(i)] {
-				continue
-			}
-			piv, sign := t.firstNonzero(i, artCols)
-			if piv == -1 {
-				// Redundant row: all-zero over structural and slack
-				// columns (its rhs is 0 since phase 1 succeeded). Drop it.
-				t.dropRow(i)
-				i--
-				continue
-			}
-			if sign < 0 {
-				// Negate the row so the pivot entry is positive; the row's
-				// rhs is 0, so feasibility is unaffected.
-				t.negateRow(i)
-			}
-			t.pivot(i, piv)
-		}
+		driveOutArtificials(t, artCols)
 		t.markDead(artCols)
 		phase1Pivots = t.pivotCount()
 		rec.finish(p1Span, t, phase1Pivots)
@@ -646,7 +747,7 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 	if err := iterate(ctx, t, rec2); err != nil {
 		return nil, err
 	}
-	rec2.finish(p2Span, t, t.pivotCount()-phase1Pivots)
+	rec2.finish(p2Span, t, t.pivotCount()-rebuildPivots-phase1Pivots)
 	p2Span.End()
 
 	// Extract the solution.
@@ -663,13 +764,20 @@ func (m *Model) SolveCtx(ctx context.Context) (*Solution, error) {
 	if !m.maximize {
 		objVal = rat.Neg(objVal)
 	}
-	return &Solution{
+	sol := &Solution{
 		model:            m,
 		Objective:        objVal,
 		values:           vals,
-		Iterations:       t.pivotCount(),
+		Iterations:       t.pivotCount() - rebuildPivots,
 		Phase1Iterations: phase1Pivots,
-	}, nil
+		basisCols:        finalBasis(t),
+		fingerprint:      fp,
+		nCols:            nCols,
+	}
+	if warm != nil {
+		warm.finish(sol, warmOK, warm.reason, phase1Pivots)
+	}
+	return sol, nil
 }
 
 // values collects the values of a map in unspecified order.

@@ -256,9 +256,21 @@ func (t *sparseTableau) negateRow(i int) {
 	}
 }
 
+func (t *sparseTableau) colSign(i, c int) int { return t.rows[i].sign(c) }
+
+// dropRow splices row i out with explicit copies. The earlier
+// append-based splice left the dropped *sparseRow aliased past the new
+// length of the backing array, keeping its column/numerator slices (which
+// rotate through the tableau's scratch buffers via combine's swaps)
+// reachable for the rest of the solve. Clearing the vacated tail slot
+// severs the alias; the regression test pins solve → drop → re-pivot.
 func (t *sparseTableau) dropRow(i int) {
-	t.rows = append(t.rows[:i], t.rows[i+1:]...)
-	t.basis = append(t.basis[:i], t.basis[i+1:]...)
+	n := len(t.rows)
+	copy(t.rows[i:], t.rows[i+1:])
+	t.rows[n-1] = nil
+	t.rows = t.rows[:n-1]
+	copy(t.basis[i:], t.basis[i+1:])
+	t.basis = t.basis[:n-1]
 }
 
 func (t *sparseTableau) installPhase1(art []bool) {
@@ -306,7 +318,10 @@ func (t *sparseTableau) pivot(pr, pc int) {
 		}
 		t.combine(ri, prow, p, ri.get(pc))
 	}
-	t.combine(t.obj, prow, p, t.obj.get(pc))
+	if t.obj != nil {
+		// Warm-basis rebuild pivots run before any objective is installed.
+		t.combine(t.obj, prow, p, t.obj.get(pc))
+	}
 	// Row pr itself: divide by the pivot, i.e. its denominator becomes the
 	// old pivot numerator (entries unchanged).
 	prow.d = p

@@ -95,6 +95,13 @@ type MetricsSnapshot struct {
 	DeadlineExceeded uint64 `json:"deadline_exceeded"`
 	BadRequests      uint64 `json:"bad_requests"`
 	SolveFailures    uint64 `json:"solve_failures"`
+	// WarmStarts counts completed solves that reused a cached basis;
+	// WarmRejects counts solves where a cached basis was offered but
+	// rejected (fingerprint mismatch, infeasible for the new bounds, …)
+	// and the solve ran cold. Solves with no cached basis available count
+	// in neither.
+	WarmStarts  uint64 `json:"warm_starts"`
+	WarmRejects uint64 `json:"warm_rejects"`
 	// QueueDepth and Inflight are live gauges: scenarios waiting in the
 	// admission queue, and requests admitted but not yet answered.
 	QueueDepth int `json:"queue_depth"`
@@ -117,6 +124,8 @@ type Metrics struct {
 	deadlineExceeded uint64
 	badRequests      uint64
 	solveFailures    uint64
+	warmStarts       uint64
+	warmRejects      uint64
 	inflight         int
 	queueWait        *histogram
 	solveMS          *histogram
@@ -137,6 +146,8 @@ func (m *Metrics) reject()      { m.mu.Lock(); m.queueRejections++; m.mu.Unlock(
 func (m *Metrics) deadline()    { m.mu.Lock(); m.deadlineExceeded++; m.mu.Unlock() }
 func (m *Metrics) badRequest()  { m.mu.Lock(); m.badRequests++; m.mu.Unlock() }
 func (m *Metrics) solveFailed() { m.mu.Lock(); m.solveFailures++; m.mu.Unlock() }
+func (m *Metrics) warmStart()   { m.mu.Lock(); m.warmStarts++; m.mu.Unlock() }
+func (m *Metrics) warmReject()  { m.mu.Lock(); m.warmRejects++; m.mu.Unlock() }
 
 func (m *Metrics) enter() { m.mu.Lock(); m.inflight++; m.mu.Unlock() }
 func (m *Metrics) leave() { m.mu.Lock(); m.inflight--; m.mu.Unlock() }
@@ -169,6 +180,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		DeadlineExceeded: m.deadlineExceeded,
 		BadRequests:      m.badRequests,
 		SolveFailures:    m.solveFailures,
+		WarmStarts:       m.warmStarts,
+		WarmRejects:      m.warmRejects,
 		Inflight:         m.inflight,
 		QueueWaitMS:      m.queueWait.snapshot(),
 		SolveMS:          m.solveMS.snapshot(),
@@ -211,6 +224,8 @@ func (s MetricsSnapshot) WritePrometheus(w io.Writer) error {
 	counter("deadline_exceeded_total", s.DeadlineExceeded, "requests past their deadline while queued or solving")
 	counter("bad_requests_total", s.BadRequests, "malformed or oversized payloads")
 	counter("solve_failures_total", s.SolveFailures, "admitted scenarios whose solve errored")
+	counter("warm_starts_total", s.WarmStarts, "solves warm-started from a cached basis")
+	counter("warm_rejects_total", s.WarmRejects, "cached bases offered but rejected")
 	gauge("queue_depth", s.QueueDepth, "scenarios waiting in the admission queue")
 	gauge("inflight", s.Inflight, "requests admitted but not yet answered")
 	histo("queue_wait_seconds", s.QueueWaitMS, "admission-to-worker latency in seconds")

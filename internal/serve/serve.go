@@ -62,6 +62,14 @@ type Config struct {
 	// means DefaultSessionCacheSize. Eviction only costs warmth: a new
 	// session is built on the next request for that platform.
 	SessionCacheSize int
+	// BasisCacheSize bounds the warm-start basis cache shared by every
+	// session: certified simplex bases keyed by problem shape, reused to
+	// skip phase 1 when a structurally identical scenario arrives (a
+	// perturbed platform, a re-submitted spec). 0 means
+	// DefaultBasisCacheSize, negative disables warm starts. Warm starts
+	// never change response bytes — reports stay bit-identical to cold
+	// solves (modulo solve_ms and the warm_start telemetry fields).
+	BasisCacheSize int
 	// DefaultSolveTimeout is the per-request deadline applied when the
 	// request does not carry one; 0 means DefaultSolveTimeoutValue,
 	// negative means no default deadline.
@@ -83,6 +91,7 @@ const (
 	DefaultQueueDepth        = 64
 	DefaultCacheSize         = 1024
 	DefaultSessionCacheSize  = 64
+	DefaultBasisCacheSize    = 1024
 	DefaultSolveTimeoutValue = 2 * time.Minute
 	DefaultMaxSolveTimeout   = 10 * time.Minute
 	DefaultMaxBodyBytes      = 8 << 20
@@ -101,6 +110,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SessionCacheSize <= 0 {
 		c.SessionCacheSize = DefaultSessionCacheSize
+	}
+	if c.BasisCacheSize == 0 {
+		c.BasisCacheSize = DefaultBasisCacheSize
 	}
 	if c.DefaultSolveTimeout == 0 {
 		c.DefaultSolveTimeout = DefaultSolveTimeoutValue
@@ -241,6 +253,7 @@ type Server struct {
 	queue    chan *task
 	cache    *lruCache
 	sessions *lruCache
+	bases    *steadystate.BasisCache
 	metrics  *Metrics
 	workers  chan struct{} // closed when every worker has exited
 	// The admission gate: draining refuses new admissions, admitters
@@ -276,6 +289,7 @@ func newServer(cfg Config) *Server {
 		queue:    make(chan *task, cfg.QueueDepth),
 		cache:    newLRU(cfg.CacheSize),
 		sessions: newLRU(cfg.SessionCacheSize),
+		bases:    steadystate.NewBasisCache(cfg.BasisCacheSize),
 		workers:  make(chan struct{}),
 	}
 	s.metrics = newMetrics(func() int { return len(s.queue) })
@@ -331,6 +345,12 @@ func (s *Server) worker() {
 			continue
 		}
 		s.metrics.observeSolve(rep.SolveMS)
+		switch {
+		case rep.WarmStart:
+			s.metrics.warmStart()
+		case rep.WarmReject != "":
+			s.metrics.warmReject()
+		}
 		s.cache.Put(t.key, rep)
 		t.done <- taskResult{report: rep}
 	}
@@ -439,7 +459,7 @@ func (s *Server) solve(ctx context.Context, sc *steadystate.Scenario, block, tra
 		return nil, false, errDraining()
 	}
 	session := s.sessions.GetOrPut(platformKeyOf(key), func() any {
-		return steadystate.NewSolver(sc.Platform)
+		return steadystate.NewSolver(sc.Platform).UseBasisCache(s.bases)
 	}).(*steadystate.Solver)
 
 	t := &task{

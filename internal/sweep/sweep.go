@@ -40,6 +40,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -157,6 +158,19 @@ type Options struct {
 	// sweep report and the JSONL stream stay byte-identical whether or not
 	// tracing is on.
 	Trace io.Writer
+	// Warm enables warm-started chain sweeps: the name-sorted jobs are
+	// grouped into perturbation chains by name stem (topogen -perturb
+	// emits <base>-pNN.json files; the -pNN suffix is stripped), each
+	// chain is solved sequentially through one private basis cache so
+	// every solve after the chain head can warm-start from its
+	// predecessor's certified basis, and distinct chains run in parallel
+	// across the worker pool — the parallel schedule never changes which
+	// basis a solve sees, so reports stay deterministic under -jobs.
+	// Throughputs and periods are bit-identical to a cold sweep; only the
+	// pivot counters and the warm_start telemetry fields differ. Sharding
+	// deals jobs round-robin and so splits chains across shards — shard a
+	// warm sweep only if partial warmth per shard is acceptable.
+	Warm bool
 }
 
 // Record is one line of the JSONL stream: the scenario name plus either
@@ -293,6 +307,49 @@ func sessions(jobs []Job) ([]*steadystate.Solver, int) {
 	return solvers, len(byHash)
 }
 
+// ChainKey returns the perturbation-chain key of a scenario name: the
+// name stem with any trailing -pNN perturbation suffix (as emitted by
+// topogen -perturb) stripped, so a base scenario and its perturbed
+// variants share a key. Warm sweeps group jobs by it; cmd/sscollect -op
+// warm groups result records the same way.
+func ChainKey(name string) string {
+	stem := strings.TrimSuffix(name, filepath.Ext(name))
+	if i := strings.LastIndex(stem, "-p"); i >= 0 && i+2 < len(stem) {
+		allDigits := true
+		for _, r := range stem[i+2:] {
+			if r < '0' || r > '9' {
+				allDigits = false
+				break
+			}
+		}
+		if allDigits {
+			return stem[:i]
+		}
+	}
+	return stem
+}
+
+// chainsOf groups the name-sorted jobs into perturbation chains: jobs
+// sharing a chain key form one chain, in job order. Chains are ordered by
+// first appearance, so the grouping is deterministic over the sorted job
+// list (topogen names the unperturbed base -p00, sorting it to the head
+// of its chain).
+func chainsOf(jobs []Job) [][]int {
+	var chains [][]int
+	index := make(map[string]int)
+	for i, job := range jobs {
+		key := ChainKey(job.Name)
+		ci, ok := index[key]
+		if !ok {
+			ci = len(chains)
+			index[key] = ci
+			chains = append(chains, nil)
+		}
+		chains[ci] = append(chains[ci], i)
+	}
+	return chains
+}
+
 // Run sweeps the jobs: shard selection, platform-deduplicated solver
 // sessions, bounded-parallel solving, JSONL streaming, and deterministic
 // aggregation. It returns the aggregated report together with ctx.Err()
@@ -307,24 +364,66 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*steadystate.SweepRepor
 	if err != nil {
 		return nil, err
 	}
-	workers := opts.Jobs
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(selected) {
-		workers = len(selected)
-	}
 
 	solvers, platforms := sessions(selected)
 	st := &runState{opts: &opts}
 
-	// The work queue is index-based so workers can pair each job with its
-	// solver session; it is pre-filled and closed, workers drain it until
-	// empty or the run context dies.
+	// runJob solves selected[i] on the given session and records the
+	// outcome; it returns false when the whole run was canceled mid-solve
+	// (the scenario then appears in neither results nor failures).
+	runJob := func(i int, solver *steadystate.Solver) bool {
+		job := selected[i]
+		if job.Err != nil {
+			st.record(job.Name, nil, 0, job.Err)
+			return true
+		}
+		solveCtx, cancel := ctx, context.CancelFunc(func() {})
+		if opts.SolveTimeout > 0 {
+			solveCtx, cancel = context.WithTimeout(ctx, opts.SolveTimeout)
+		}
+		solveStart := time.Now()
+		rep, err := solveOne(solveCtx, solver, job, opts.Trace != nil)
+		cancel()
+		if err != nil && ctx.Err() != nil {
+			// The whole run was canceled mid-solve: this scenario was not
+			// attempted to completion, so it is neither a result nor a
+			// failure of the partial report.
+			return false
+		}
+		if err != nil {
+			st.record(job.Name, nil, msSince(solveStart), err)
+			return true
+		}
+		if rep.Trace != nil {
+			st.recordTrace(job.Name, rep.Kind, rep.Trace)
+			rep.Trace = nil
+		}
+		st.record(job.Name, rep, rep.SolveMS, nil)
+		return true
+	}
+
+	// The work queue is index-based and pre-filled: job indices in a cold
+	// sweep, chain indices in a warm one (a chain is a unit of sequential
+	// work — warmth flows along it, so it must not be split across
+	// workers). Workers drain the queue until empty or the run context
+	// dies.
+	var chains [][]int
+	units := len(selected)
+	if opts.Warm {
+		chains = chainsOf(selected)
+		units = len(chains)
+	}
+	workers := opts.Jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > units {
+		workers = units
+	}
 	queue := make(chan int)
 	go func() {
 		defer close(queue)
-		for i := range selected {
+		for i := 0; i < units; i++ {
 			select {
 			case queue <- i:
 			case <-ctx.Done():
@@ -338,34 +437,29 @@ func Run(ctx context.Context, jobs []Job, opts Options) (*steadystate.SweepRepor
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range queue {
-				job := selected[i]
-				if job.Err != nil {
-					st.record(job.Name, nil, 0, job.Err)
+			for u := range queue {
+				if !opts.Warm {
+					if !runJob(u, solvers[u]) {
+						return
+					}
 					continue
 				}
-				solveCtx, cancel := ctx, context.CancelFunc(func() {})
-				if opts.SolveTimeout > 0 {
-					solveCtx, cancel = context.WithTimeout(ctx, opts.SolveTimeout)
+				// A warm chain: each job gets a private session on its own
+				// (possibly perturbed) platform, but the chain shares one
+				// basis cache, so every solve after the head is offered its
+				// predecessor's certified basis. The cache is chain-local —
+				// the parallel schedule never changes which basis a solve
+				// sees.
+				cache := steadystate.NewBasisCache(len(chains[u]) + 1)
+				for _, i := range chains[u] {
+					solver := solvers[i]
+					if sc := selected[i].Scenario; sc != nil {
+						solver = steadystate.NewSolver(sc.Platform).UseBasisCache(cache)
+					}
+					if !runJob(i, solver) {
+						return
+					}
 				}
-				solveStart := time.Now()
-				rep, err := solveOne(solveCtx, solvers[i], job, opts.Trace != nil)
-				cancel()
-				if err != nil && ctx.Err() != nil {
-					// The whole run was canceled mid-solve: this scenario
-					// was not attempted to completion, so it is neither a
-					// result nor a failure of the partial report.
-					return
-				}
-				if err != nil {
-					st.record(job.Name, nil, msSince(solveStart), err)
-					continue
-				}
-				if rep.Trace != nil {
-					st.recordTrace(job.Name, rep.Kind, rep.Trace)
-					rep.Trace = nil
-				}
-				st.record(job.Name, rep, rep.SolveMS, nil)
 			}
 		}()
 	}

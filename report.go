@@ -117,6 +117,18 @@ type Report struct {
 	// composite). It is measurement, not arithmetic: two identical solves
 	// report identical throughputs but may report different SolveMS.
 	SolveMS float64 `json:"solve_ms,omitempty"`
+	// WarmStart is true when the solve reused a cached basis from a
+	// Solver session's basis cache (see Solver.UseBasisCache):
+	// WarmPivotsSaved estimates the phase-1 pivots the reuse avoided
+	// (the cached basis's original phase-1 cost minus the pivots this
+	// solve actually spent restoring it). When a cached basis was offered
+	// but rejected, WarmReject names the reason (fingerprint_mismatch,
+	// shape_mismatch, singular_basis, infeasible_basis). Warm starts
+	// never change the reported rationals — only the pivot counts and
+	// SolveMS.
+	WarmStart       bool   `json:"warm_start,omitempty"`
+	WarmReject      string `json:"warm_reject,omitempty"`
+	WarmPivotsSaved int    `json:"lp_warm_pivots_saved,omitempty"`
 	// Trees counts the extracted reduction trees (reduce/gather only).
 	Trees int `json:"trees,omitempty"`
 	// FixedPeriod/FixedThroughput/FixedLoss describe the Section 4.6
@@ -178,6 +190,12 @@ type SweepResult struct {
 	LPDensity      float64 `json:"lp_density,omitempty"`
 	LPPivots       int     `json:"lp_pivots"`
 	LPPhase1Pivots int     `json:"lp_phase1_pivots,omitempty"`
+	// Warm-start outcome of the solve (see Report.WarmStart). Only set by
+	// warm sweeps; cold sweeps leave all three zero so their results stay
+	// byte-identical to pre-warm-start sweeps.
+	WarmStart       bool   `json:"warm_start,omitempty"`
+	WarmReject      string `json:"warm_reject,omitempty"`
+	WarmPivotsSaved int    `json:"lp_warm_pivots_saved,omitempty"`
 }
 
 // SweepFailure records one scenario that could not be solved — a file
@@ -208,6 +226,10 @@ type SweepKindStats struct {
 	MeanLPDensity      float64 `json:"mean_lp_density,omitempty"`
 	TotalLPPivots      int     `json:"total_lp_pivots"`
 	MaxLPPivots        int     `json:"max_lp_pivots"`
+	// Warm-start totals across the kind's solves (zero in cold sweeps).
+	WarmStarts           int `json:"warm_starts,omitempty"`
+	WarmRejects          int `json:"warm_rejects,omitempty"`
+	TotalWarmPivotsSaved int `json:"total_warm_pivots_saved,omitempty"`
 }
 
 // SweepTiming carries the sweep's wall-clock measurements, split from the
@@ -252,16 +274,19 @@ type SweepReport struct {
 // sweep summary.
 func SweepResultOf(name string, rep *Report) *SweepResult {
 	return &SweepResult{
-		Name:           name,
-		Kind:           rep.Kind,
-		Throughput:     rep.Throughput,
-		Period:         rep.Period,
-		LPVars:         rep.LPVars,
-		LPConstraints:  rep.LPConstraints,
-		LPNonZeros:     rep.LPNonZeros,
-		LPDensity:      rep.LPDensity,
-		LPPivots:       rep.LPPivots,
-		LPPhase1Pivots: rep.LPPhase1Pivots,
+		Name:            name,
+		Kind:            rep.Kind,
+		Throughput:      rep.Throughput,
+		Period:          rep.Period,
+		LPVars:          rep.LPVars,
+		LPConstraints:   rep.LPConstraints,
+		LPNonZeros:      rep.LPNonZeros,
+		LPDensity:       rep.LPDensity,
+		LPPivots:        rep.LPPivots,
+		LPPhase1Pivots:  rep.LPPhase1Pivots,
+		WarmStart:       rep.WarmStart,
+		WarmReject:      rep.WarmReject,
+		WarmPivotsSaved: rep.WarmPivotsSaved,
 	}
 }
 
@@ -283,6 +308,9 @@ func (r *SweepReport) Aggregate() (*SweepReport, error) {
 		nonzeros         int
 		density          float64
 		pivots, maxPivot int
+		warmStarts       int
+		warmRejects      int
+		warmSaved        int
 	}
 	byKind := make(map[Kind]*acc)
 	for _, res := range r.Results {
@@ -312,22 +340,32 @@ func (r *SweepReport) Aggregate() (*SweepReport, error) {
 		if res.LPPivots > a.maxPivot {
 			a.maxPivot = res.LPPivots
 		}
+		if res.WarmStart {
+			a.warmStarts++
+		}
+		if res.WarmReject != "" {
+			a.warmRejects++
+		}
+		a.warmSaved += res.WarmPivotsSaved
 	}
 	r.Kinds = r.Kinds[:0]
 	for kind, a := range byKind {
 		mean := rat.Div(a.sum, rat.Int(int64(a.count)))
 		r.Kinds = append(r.Kinds, &SweepKindStats{
-			Kind:               kind,
-			Count:              a.count,
-			MinThroughput:      a.min.RatString(),
-			MaxThroughput:      a.max.RatString(),
-			MeanThroughput:     mean.RatString(),
-			TotalLPVars:        a.vars,
-			TotalLPConstraints: a.cons,
-			TotalLPNonZeros:    a.nonzeros,
-			MeanLPDensity:      a.density / float64(a.count),
-			TotalLPPivots:      a.pivots,
-			MaxLPPivots:        a.maxPivot,
+			Kind:                 kind,
+			Count:                a.count,
+			MinThroughput:        a.min.RatString(),
+			MaxThroughput:        a.max.RatString(),
+			MeanThroughput:       mean.RatString(),
+			TotalLPVars:          a.vars,
+			TotalLPConstraints:   a.cons,
+			TotalLPNonZeros:      a.nonzeros,
+			MeanLPDensity:        a.density / float64(a.count),
+			TotalLPPivots:        a.pivots,
+			MaxLPPivots:          a.maxPivot,
+			WarmStarts:           a.warmStarts,
+			WarmRejects:          a.warmRejects,
+			TotalWarmPivotsSaved: a.warmSaved,
 		})
 	}
 	sort.Slice(r.Kinds, func(i, j int) bool { return r.Kinds[i].Kind < r.Kinds[j].Kind })
