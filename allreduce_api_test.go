@@ -8,7 +8,6 @@ package steadystate_test
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"math/big"
 	"reflect"
 	"testing"
@@ -341,14 +340,44 @@ func TestNewKindErrorPaths(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
-	if _, err := sol.SimModel(); !errors.Is(err, steadystate.ErrUnsupported) {
-		t.Errorf("allreduce SimModel error = %v, want ErrUnsupported", err)
+	m, err := sol.SimModel()
+	if err != nil {
+		t.Fatalf("allreduce SimModel: %v", err)
+	}
+	res, err := steadystate.Simulate(m, 40)
+	if err != nil {
+		t.Fatalf("allreduce Simulate: %v", err)
+	}
+	members := sol.(steadystate.Concurrent).Members()
+	k := new(big.Int).Mul(big.NewInt(40), m.Period)
+	for i := range members {
+		delivered := res.MinDeliveredPrefix(steadystate.SimMemberPrefix(i))
+		if delivered.Sign() <= 0 {
+			t.Errorf("allreduce member %d delivered nothing", i)
+		}
+		bound := new(big.Rat).Mul(members[i].Throughput(), new(big.Rat).SetInt(k))
+		if new(big.Rat).SetInt(delivered).Cmp(bound) > 0 {
+			t.Errorf("allreduce member %d delivered %s, above bound %s", i, delivered, bound.RatString())
+		}
 	}
 	bsol, err := steadystate.Solve(ctx, p, steadystate.BroadcastSpec(order[0], order[1]))
 	if err != nil {
 		t.Fatalf("broadcast Solve: %v", err)
 	}
-	if _, err := bsol.SimModel(); !errors.Is(err, steadystate.ErrUnsupported) {
-		t.Errorf("broadcast SimModel error = %v, want ErrUnsupported", err)
+	bm, err := bsol.SimModel()
+	if err != nil {
+		t.Fatalf("broadcast SimModel: %v", err)
+	}
+	bres, err := steadystate.Simulate(bm, 40)
+	if err != nil {
+		t.Fatalf("broadcast Simulate: %v", err)
+	}
+	bk := new(big.Int).Mul(big.NewInt(40), bm.Period)
+	bbound := new(big.Rat).Mul(bsol.Throughput(), new(big.Rat).SetInt(bk))
+	if bres.MinDelivered().Sign() <= 0 {
+		t.Error("broadcast simulation delivered nothing")
+	}
+	if new(big.Rat).SetInt(bres.MinDelivered()).Cmp(bbound) > 0 {
+		t.Errorf("broadcast delivered %s, above bound %s", bres.MinDelivered(), bbound.RatString())
 	}
 }

@@ -905,12 +905,14 @@ func (s *broadcastSolution) Period() *big.Int { return s.sol.Period() }
 // Schedule decomposes the carry stream — the messages physically moved,
 // one shared copy per edge — into one-port-safe matching slots.
 func (s *broadcastSolution) Schedule() (*Schedule, error) { return BroadcastSchedule(s.sol) }
-func (s *broadcastSolution) SimModel() (*SimModel, error) {
-	return nil, fmt.Errorf("broadcast protocol simulation: %w", ErrUnsupported)
-}
-func (s *broadcastSolution) Verify() error  { return s.sol.Verify() }
-func (s *broadcastSolution) Unwrap() any    { return s.sol }
-func (s *broadcastSolution) String() string { return s.sol.String() }
+
+// SimModel replays the carry stream with per-target replication: each
+// target's bundled virtual flow is a commodity of its own, delivered
+// against TP per target.
+func (s *broadcastSolution) SimModel() (*SimModel, error) { return BroadcastSimModel(s.sol), nil }
+func (s *broadcastSolution) Verify() error                { return s.sol.Verify() }
+func (s *broadcastSolution) Unwrap() any                  { return s.sol }
+func (s *broadcastSolution) String() string               { return s.sol.String() }
 func (s *broadcastSolution) Report() (*Report, error) {
 	r := newReport(KindBroadcast, s.sol.Throughput(), s.sol.Period(), s.sol.Stats)
 	r.SolveMS = s.solveMS()
@@ -1044,9 +1046,7 @@ func (s *prefixSolution) String() string   { return s.sol.String() }
 func (s *prefixSolution) Schedule() (*Schedule, error) {
 	return nil, fmt.Errorf("prefix schedule construction: %w", ErrUnsupported)
 }
-func (s *prefixSolution) SimModel() (*SimModel, error) {
-	return nil, fmt.Errorf("prefix protocol simulation: %w", ErrUnsupported)
-}
+func (s *prefixSolution) SimModel() (*SimModel, error) { return PrefixSimModel(s.sol), nil }
 func (s *prefixSolution) Report() (*Report, error) {
 	r := newReport(KindPrefix, s.sol.Throughput(), s.sol.Period(), s.sol.Stats)
 	r.SolveMS = s.solveMS()
@@ -1086,8 +1086,24 @@ func (s *compositeSolution) String() string   { return s.sol.String() }
 // "op<i>:…").
 func (s *compositeSolution) Schedule() (*Schedule, error) { return s.sol.Schedule() }
 
+// SimModel returns the merged multi-member model: every member's model,
+// scaled to the composite period and namespaced "op<i>:" (matching the
+// merged schedule's transfer labels), superposed into one replay. Read a
+// member's deliveries with Result.MinDeliveredPrefix(SimMemberPrefix(i));
+// per-member submodels remain available via Members()[i].SimModel().
 func (s *compositeSolution) SimModel() (*SimModel, error) {
-	return nil, fmt.Errorf("%s protocol simulation: %w", s.spec.Kind, ErrUnsupported)
+	members := s.Members()
+	models := make([]*SimModel, len(members))
+	labels := make([]string, len(members))
+	for i, mem := range members {
+		m, err := mem.SimModel()
+		if err != nil {
+			return nil, fmt.Errorf("%s member %d simulation model: %w", s.spec.Kind, i, err)
+		}
+		models[i] = m
+		labels[i] = SimMemberPrefix(i)
+	}
+	return MergeSimModels(s.sol.Problem.Platform, s.sol.Period(), models, labels)
 }
 
 // Members returns one Solution per member, in spec order. Member solutions

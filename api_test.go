@@ -199,7 +199,8 @@ func TestSolveGatherEquivalence(t *testing.T) {
 }
 
 // TestSolutionUniformSurface exercises Schedule/SimModel/Report on every
-// kind that supports them and checks prefix reports ErrUnsupported.
+// kind that supports them and keeps the one genuinely unsupported surface
+// (prefix Schedule) pinned on the ErrUnsupported path.
 func TestSolutionUniformSurface(t *testing.T) {
 	ctx := context.Background()
 	p, src, targets := steadystate.PaperFig2()
@@ -250,8 +251,22 @@ func TestSolutionUniformSurface(t *testing.T) {
 	if _, err := psol.Schedule(); !errors.Is(err, steadystate.ErrUnsupported) {
 		t.Errorf("prefix Schedule error = %v, want ErrUnsupported", err)
 	}
-	if _, err := psol.SimModel(); !errors.Is(err, steadystate.ErrUnsupported) {
-		t.Errorf("prefix SimModel error = %v, want ErrUnsupported", err)
+	pm, err := psol.SimModel()
+	if err != nil {
+		t.Fatalf("prefix SimModel: %v", err)
+	}
+	pres, err := steadystate.Simulate(pm, 50)
+	if err != nil {
+		t.Fatalf("prefix Simulate: %v", err)
+	}
+	if pres.MinDelivered().Sign() <= 0 {
+		t.Error("prefix simulation delivered nothing")
+	}
+	// Lemma 1: no rank may deliver more than TP·K prefixes.
+	k := new(big.Int).Mul(big.NewInt(50), pm.Period)
+	bound := new(big.Rat).Mul(psol.Throughput(), new(big.Rat).SetInt(k))
+	if new(big.Rat).SetInt(pres.MinDelivered()).Cmp(bound) > 0 {
+		t.Errorf("prefix delivered %s exceeds bound %s", pres.MinDelivered(), bound.RatString())
 	}
 	if _, err := psol.Report(); err != nil {
 		t.Errorf("prefix Report: %v", err)

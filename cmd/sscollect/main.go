@@ -16,6 +16,8 @@
 //	sscollect -platform scenario.json -report report.json
 //	sscollect -op trace -in traces.jsonl -top 5   # summarize a sweep trace JSONL
 //	sscollect -op warm -in warm.jsonl             # summarize a warm sweep's cold-vs-warm deltas
+//	sscollect -op sim -in scenarios/ -simulate 50 # sim-conformance sweep: replay each scenario,
+//	                                              # check delivered ∈ [TP·K − warmup, TP·K]
 //
 // A scenario file (cmd/topogen -spec) carries both the platform and the
 // collective spec, so -op and the role flags become optional overrides;
@@ -51,7 +53,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		platformFile = fs.String("platform", "", "platform or scenario JSON file, or fig2|fig6|fig9")
-		op           = fs.String("op", "", "collective: scatter|broadcast|gossip|reduce|gather|prefix|reducescatter|allreduce (default: the scenario's spec, else scatter), or trace/warm to summarize a sweep's trace/result JSONL")
+		op           = fs.String("op", "", "collective: scatter|broadcast|gossip|reduce|gather|prefix|reducescatter|allreduce (default: the scenario's spec, else scatter), trace/warm to summarize a sweep's trace/result JSONL, or sim for a sim-conformance sweep over -in scenarios")
 		source       = fs.String("source", "", "scatter source node name")
 		sources      = fs.String("sources", "", "gossip source names, comma separated")
 		targets      = fs.String("targets", "", "scatter/gossip target names, comma separated")
@@ -65,7 +67,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		simulate     = fs.Int("simulate", 0, "simulate the protocol for N periods")
 		latency      = fs.Bool("latency", false, "with -simulate: also report per-operation pipeline latency")
 		reportFile   = fs.String("report", "", "write the solution summary as JSON to this file")
-		traceIn      = fs.String("in", "", "with -op trace or -op warm: sweep JSONL to summarize (\"-\": stdin)")
+		traceIn      = fs.String("in", "", "with -op trace or -op warm: sweep JSONL to summarize (\"-\": stdin); with -op sim: comma-separated scenario files or directories")
 		topSpans     = fs.Int("top", 5, "with -op trace: slowest spans to list")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -81,6 +83,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// Likewise offline: per-chain cold-vs-warm deltas from a warm
 		// sweep's result JSONL.
 		return warmSummary(*traceIn, stdout)
+	}
+	if *op == "sim" {
+		// A batch of its own solves: replay every -in scenario and check
+		// delivered counts against the Lemma-1 window.
+		return simSweep(*traceIn, *simulate, *reportFile, stdout, stderr)
 	}
 
 	sc, err := loadScenario(*platformFile)
@@ -192,16 +199,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *simulate > 0 {
+		// Every kind builds a simulation model (composites via the merged
+		// member models), so there is no ErrUnsupported escape here.
 		m, err := sol.SimModel()
-		switch {
-		case errors.Is(err, steadystate.ErrUnsupported):
-			fmt.Fprintf(stderr, "sscollect: no protocol simulation for %s; skipping -simulate\n", spec.Kind)
-		case err != nil:
+		if err != nil {
 			return fmt.Errorf("simulation model: %w", err)
-		default:
-			if err := simReport(stdout, m, *simulate, sol.Throughput(), *latency); err != nil {
-				return err
-			}
+		}
+		if err := simReport(stdout, m, *simulate, sol, *latency); err != nil {
+			return err
 		}
 	}
 
@@ -260,13 +265,13 @@ func loadScenario(spec string) (*steadystate.Scenario, error) {
 	return &steadystate.Scenario{Platform: p}, nil
 }
 
-func simReport(stdout io.Writer, m *steadystate.SimModel, periods int, tp steadystate.Rat, latency bool) error {
+func simReport(stdout io.Writer, m *steadystate.SimModel, periods int, sol steadystate.Solution, latency bool) error {
 	res, err := steadystate.Simulate(m, periods)
 	if err != nil {
 		return fmt.Errorf("simulate: %w", err)
 	}
 	k := new(big.Int).Mul(big.NewInt(int64(periods)), m.Period)
-	bound := new(big.Rat).Mul(tp, new(big.Rat).SetInt(k))
+	bound := new(big.Rat).Mul(sol.Throughput(), new(big.Rat).SetInt(k))
 	delivered := new(big.Rat).SetInt(res.MinDelivered())
 	ratio := new(big.Rat)
 	if bound.Sign() > 0 {
@@ -275,6 +280,21 @@ func simReport(stdout io.Writer, m *steadystate.SimModel, periods int, tp steady
 	f, _ := ratio.Float64()
 	fmt.Fprintf(stdout, "simulated %d periods (K = %s time units): delivered %s ops, bound %s, ratio %.4f (init ends period %d)\n",
 		periods, k.String(), res.MinDelivered().String(), bound.RatString(), f, res.FirstFullPeriod)
+	if conc, ok := sol.(steadystate.Concurrent); ok {
+		// The merged replay carries every member under its own commodity
+		// namespace: report each member's share against its own bound.
+		for i, member := range conc.Members() {
+			d := res.MinDeliveredPrefix(steadystate.SimMemberPrefix(i))
+			mb := new(big.Rat).Mul(member.Throughput(), new(big.Rat).SetInt(k))
+			mr := new(big.Rat)
+			if mb.Sign() > 0 {
+				mr.Quo(new(big.Rat).SetInt(d), mb)
+			}
+			mf, _ := mr.Float64()
+			fmt.Fprintf(stdout, "  member %s (%s): delivered %s ops, bound %s, ratio %.4f\n",
+				strings.TrimSuffix(steadystate.SimMemberPrefix(i), ":"), member.Kind(), d.String(), mb.RatString(), mf)
+		}
+	}
 	if latency {
 		lat, err := steadystate.SimulateLatency(m, periods)
 		if err != nil {

@@ -1,0 +1,230 @@
+// sim.go implements sscollect -op sim: a sim-backed conformance sweep.
+// Every scenario in -in (files or directories of scenario JSON) is solved,
+// turned into a simulation model, and replayed for -simulate periods; the
+// delivered count must land in the Lemma-1 window [TP·K − warmup, TP·K],
+// with the warmup bounded by the schedule depth. Composite scenarios are
+// additionally checked per member against the member's own throughput.
+// Load and solve errors are reported and counted but do not abort the
+// sweep; conformance failures make the command exit non-zero.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/big"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	steadystate "repro"
+)
+
+// simMemberSummary is one composite member's conformance verdict.
+type simMemberSummary struct {
+	Kind      string  `json:"kind"`
+	Delivered string  `json:"delivered"`
+	Bound     string  `json:"bound"`
+	Ratio     float64 `json:"ratio"`
+	OK        bool    `json:"ok"`
+}
+
+// simScenarioSummary is one scenario's replay outcome.
+type simScenarioSummary struct {
+	Name      string             `json:"name"`
+	Kind      string             `json:"kind,omitempty"`
+	Period    string             `json:"period,omitempty"`
+	Delivered string             `json:"delivered,omitempty"`
+	Bound     string             `json:"bound,omitempty"`
+	Ratio     float64            `json:"ratio,omitempty"`
+	FirstFull int                `json:"first_full_period"`
+	OK        bool               `json:"ok"`
+	Error     string             `json:"error,omitempty"`
+	Members   []simMemberSummary `json:"members,omitempty"`
+}
+
+// simSweepSummary is the whole sweep's JSON report (-report).
+type simSweepSummary struct {
+	Periods   int                  `json:"periods"`
+	Scenarios []simScenarioSummary `json:"scenarios"`
+	Failures  int                  `json:"conformance_failures"`
+	Errors    int                  `json:"errors"`
+}
+
+// simConformance applies the delivered-count window for one sink set:
+// delivered ∈ [TP·T·(K−W), TP·T·K] with W ≤ depth, and zero throughput
+// must deliver nothing.
+func simConformance(delivered *big.Int, tp steadystate.Rat, period *big.Int, periods, firstFull, depth int) (bound steadystate.Rat, ratio float64, ok bool) {
+	perPeriod := new(big.Rat).Mul(tp, new(big.Rat).SetInt(period))
+	bound = new(big.Rat).Mul(perPeriod, new(big.Rat).SetInt64(int64(periods)))
+	d := new(big.Rat).SetInt(delivered)
+	if bound.Sign() == 0 {
+		return bound, 0, delivered.Sign() == 0
+	}
+	ratio, _ = new(big.Rat).Quo(d, bound).Float64()
+	if firstFull < 0 || firstFull > depth {
+		return bound, ratio, false
+	}
+	floor := new(big.Rat).Mul(perPeriod, new(big.Rat).SetInt64(int64(periods-firstFull)))
+	return bound, ratio, d.Cmp(bound) <= 0 && d.Cmp(floor) >= 0
+}
+
+// simSweepFiles expands the comma-separated -in list: each entry is a
+// scenario file or a directory whose *.json files are taken in sorted
+// order.
+func simSweepFiles(paths string) ([]string, error) {
+	var files []string
+	for _, entry := range strings.Split(paths, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		info, err := os.Stat(entry)
+		if err != nil {
+			return nil, fmt.Errorf("stat -in entry: %w", err)
+		}
+		if !info.IsDir() {
+			files = append(files, entry)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(entry, "*.json"))
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(matches)
+		files = append(files, matches...)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("-in matched no scenario files")
+	}
+	return files, nil
+}
+
+// simScenario solves and replays one scenario file.
+func simScenario(path string, periods int) simScenarioSummary {
+	sum := simScenarioSummary{Name: strings.TrimSuffix(filepath.Base(path), ".json"), FirstFull: -1}
+	fail := func(err error) simScenarioSummary {
+		sum.Error = err.Error()
+		return sum
+	}
+	sc, err := loadScenario(path)
+	if err != nil {
+		return fail(err)
+	}
+	if sc.Spec.Kind == "" {
+		return fail(fmt.Errorf("scenario carries no collective spec"))
+	}
+	sum.Kind = string(sc.Spec.Kind)
+	sol, err := steadystate.Solve(context.Background(), sc.Platform, sc.Spec)
+	if err != nil {
+		return fail(fmt.Errorf("solve: %w", err))
+	}
+	m, err := sol.SimModel()
+	if err != nil {
+		return fail(fmt.Errorf("simulation model: %w", err))
+	}
+	res, err := steadystate.Simulate(m, periods)
+	if err != nil {
+		return fail(fmt.Errorf("simulate: %w", err))
+	}
+	depth := len(m.Transfers) + len(m.Rules) + 1
+	sum.Period = m.Period.String()
+	sum.FirstFull = res.FirstFullPeriod
+	sum.Delivered = res.MinDelivered().String()
+
+	bound, ratio, ok := simConformance(res.MinDelivered(), sol.Throughput(), m.Period, periods, res.FirstFullPeriod, depth)
+	sum.Bound, sum.Ratio, sum.OK = bound.RatString(), ratio, ok
+	if conc, isConc := sol.(steadystate.Concurrent); isConc {
+		for i, member := range conc.Members() {
+			delivered := res.MinDeliveredPrefix(steadystate.SimMemberPrefix(i))
+			mBound, mRatio, mOK := simConformance(delivered, member.Throughput(), m.Period, periods, res.FirstFullPeriod, depth)
+			sum.Members = append(sum.Members, simMemberSummary{
+				Kind:      string(member.Kind()),
+				Delivered: delivered.String(),
+				Bound:     mBound.RatString(),
+				Ratio:     mRatio,
+				OK:        mOK,
+			})
+			if !mOK {
+				sum.OK = false
+			}
+		}
+	}
+	return sum
+}
+
+// simSweep runs the -op sim mode: replay every scenario and tabulate the
+// delivered-versus-bound verdicts.
+func simSweep(paths string, periods int, reportFile string, stdout, stderr io.Writer) error {
+	if paths == "" {
+		return fmt.Errorf("-op sim needs -in (scenario files or directories, comma separated)")
+	}
+	if periods <= 0 {
+		periods = 50
+	}
+	files, err := simSweepFiles(paths)
+	if err != nil {
+		return err
+	}
+
+	sweep := simSweepSummary{Periods: periods}
+	okCount := 0
+	for _, path := range files {
+		sum := simScenario(path, periods)
+		switch {
+		case sum.Error != "":
+			sweep.Errors++
+			fmt.Fprintf(stderr, "sscollect: %s: %s\n", sum.Name, sum.Error)
+		case sum.OK:
+			okCount++
+		default:
+			sweep.Failures++
+		}
+		sweep.Scenarios = append(sweep.Scenarios, sum)
+	}
+
+	fmt.Fprintf(stdout, "sim conformance: %d scenario(s), %d periods each\n\n", len(files), periods)
+	tw := tabwriter.NewWriter(stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tkind\tperiod\tdelivered\tbound\tratio\tinit\tok\t")
+	verdict := func(ok bool) string {
+		if ok {
+			return "ok"
+		}
+		return "FAIL"
+	}
+	for _, sum := range sweep.Scenarios {
+		if sum.Error != "" {
+			fmt.Fprintf(tw, "%s\t-\t-\t-\t-\t-\t-\terror\t\n", sum.Name)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%.4f\t%d\t%s\t\n",
+			sum.Name, sum.Kind, sum.Period, sum.Delivered, sum.Bound, sum.Ratio, sum.FirstFull, verdict(sum.OK))
+		for i, mem := range sum.Members {
+			fmt.Fprintf(tw, "  %s/%s\t%s\t\t%s\t%s\t%.4f\t\t%s\t\n",
+				sum.Name, strings.TrimSuffix(steadystate.SimMemberPrefix(i), ":"),
+				mem.Kind, mem.Delivered, mem.Bound, mem.Ratio, verdict(mem.OK))
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\n%d ok, %d conformance failure(s), %d error(s)\n", okCount, sweep.Failures, sweep.Errors)
+
+	if reportFile != "" {
+		data, err := json.MarshalIndent(sweep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(reportFile, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", reportFile, err)
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", reportFile)
+	}
+	if sweep.Failures > 0 {
+		return fmt.Errorf("%d scenario(s) failed sim conformance", sweep.Failures)
+	}
+	return nil
+}

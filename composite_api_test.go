@@ -7,7 +7,6 @@ package steadystate_test
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"math/big"
 	"reflect"
 	"testing"
@@ -309,7 +308,26 @@ func TestCompositeErrorPaths(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
-	if _, err := sol.SimModel(); !errors.Is(err, steadystate.ErrUnsupported) {
-		t.Errorf("reduce-scatter SimModel error = %v, want ErrUnsupported", err)
+	m, err := sol.SimModel()
+	if err != nil {
+		t.Fatalf("reduce-scatter SimModel: %v", err)
+	}
+	res, err := steadystate.Simulate(m, 40)
+	if err != nil {
+		t.Fatalf("reduce-scatter Simulate: %v", err)
+	}
+	// Each of the N reduce members must deliver, and none may beat its
+	// member bound weight·TP·K (Lemma 1 per member).
+	for i := range order {
+		delivered := res.MinDeliveredPrefix(steadystate.SimMemberPrefix(i))
+		if delivered.Sign() <= 0 {
+			t.Errorf("member %d delivered nothing", i)
+		}
+		k := new(big.Int).Mul(big.NewInt(40), m.Period)
+		memberTP := sol.(steadystate.Concurrent).Members()[i].Throughput()
+		bound := new(big.Rat).Mul(memberTP, new(big.Rat).SetInt(k))
+		if new(big.Rat).SetInt(delivered).Cmp(bound) > 0 {
+			t.Errorf("member %d delivered %s, above bound %s", i, delivered, bound.RatString())
+		}
 	}
 }

@@ -2,11 +2,13 @@ package sim
 
 import (
 	"fmt"
+	"math/big"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/gossip"
 	"repro/internal/graph"
+	"repro/internal/prefix"
 	"repro/internal/rat"
 	"repro/internal/reduce"
 	"repro/internal/scatter"
@@ -61,6 +63,28 @@ func transferLess(a, b Transfer) bool {
 		return a.To < b.To
 	}
 	return a.Type < b.Type
+}
+
+// ruleLess is a total order on rules — (order, node, produces, consumes) —
+// so canonically sorted rule lists are byte-stable across solves (two task
+// kinds may produce the same range on the same node and differ only in
+// their split point, so the consume list must break the tie).
+func ruleLess(a, b Rule) bool {
+	if a.Order != b.Order {
+		return a.Order < b.Order
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	if a.Produces != b.Produces {
+		return a.Produces < b.Produces
+	}
+	for i := 0; i < len(a.Consumes) && i < len(b.Consumes); i++ {
+		if a.Consumes[i] != b.Consumes[i] {
+			return a.Consumes[i] < b.Consumes[i]
+		}
+	}
+	return len(a.Consumes) < len(b.Consumes)
 }
 
 // ScatterModel builds the simulation model of a scatter solution.
@@ -128,15 +152,105 @@ func ReduceModel(app *reduce.Application) *Model {
 	// Canonical order: the replay sorts rules by Order and same-Order
 	// rules are independent, but deterministic models diff cleanly.
 	sort.Slice(m.Transfers, func(i, j int) bool { return transferLess(m.Transfers[i], m.Transfers[j]) })
-	sort.Slice(m.Rules, func(i, j int) bool {
-		a, b := m.Rules[i], m.Rules[j]
-		if a.Order != b.Order {
-			return a.Order < b.Order
+	sort.Slice(m.Rules, func(i, j int) bool { return ruleLess(m.Rules[i], m.Rules[j]) })
+	return m
+}
+
+// broadcastType names one target's replicated copy of the broadcast
+// stream.
+func broadcastType(p *graph.Platform, target graph.NodeID) TypeID {
+	return TypeID("b_" + p.Node(target).Name)
+}
+
+// BroadcastModel builds the simulation model of a broadcast solution. The
+// wire moves the shared carry stream y(e) — one physical copy per edge —
+// but a carried message satisfies every downstream target's conservation
+// at once, so the replay tracks the per-target virtual flows x(e, b_t)
+// bundled inside it: each target's copy is its own commodity with a source
+// at the broadcast source and a sink at the target, and delivered counts
+// are checked against TP per target, not per physical edge-copy. The
+// bundling invariant x(e, b_t) ≤ y(e), which makes this replay physically
+// realizable, is established by BroadcastSolution.Verify.
+func BroadcastModel(sol *scatter.BroadcastSolution) *Model {
+	p := sol.Problem.Platform
+	period := sol.Period()
+	m := &Model{
+		Platform: p,
+		Period:   period,
+		Sources:  make(map[Endpoint]bool),
+		Sinks:    make(map[Endpoint]bool),
+	}
+	for e, types := range sol.Flow.Sends {
+		for c, r := range types {
+			count := rat.ScaleToInt(r, period)
+			if count.Sign() == 0 {
+				continue
+			}
+			m.Transfers = append(m.Transfers, Transfer{
+				From: e.From, To: e.To, Type: broadcastType(p, c.Dst), Count: count,
+			})
 		}
-		if a.Node != b.Node {
-			return a.Node < b.Node
+	}
+	// Every target gets its source/sink pair even at zero traffic (TP=0)
+	// so MinDelivered stays honest.
+	for _, t := range sol.Problem.Targets {
+		m.Sources[Endpoint{sol.Problem.Source, broadcastType(p, t)}] = true
+		m.Sinks[Endpoint{t, broadcastType(p, t)}] = true
+	}
+	sort.Slice(m.Transfers, func(i, j int) bool { return transferLess(m.Transfers[i], m.Transfers[j]) })
+	return m
+}
+
+// PrefixModel builds the simulation model of a prefix solution: transfers
+// from the fragment send rates, one rule per suffix-extension or producing
+// task (ordered by result length, so intra-period chains resolve), the
+// initial values v[i,i] as sources at their owners, and one quota sink per
+// rank — rank i must absorb v[0,i] at rate TP while any surplus stays
+// buffered for forwarding downstream. Rank 0 owns v[0,0] locally (source
+// and sink at once), so its quota is credited directly each period. All
+// rates are scaled to integers at the solution period.
+func PrefixModel(sol *prefix.Solution) *Model {
+	pr := sol.Problem
+	period := sol.Period()
+	quota := rat.ScaleToInt(sol.TP, period)
+	m := &Model{
+		Platform:  pr.Platform,
+		Period:    period,
+		Sources:   make(map[Endpoint]bool),
+		Sinks:     make(map[Endpoint]bool),
+		SinkQuota: make(map[Endpoint]*big.Int),
+	}
+	for i, owner := range pr.Order {
+		m.Sources[Endpoint{owner, rangeType(reduce.Range{K: i, M: i})}] = true
+	}
+	for i, owner := range pr.Order {
+		e := Endpoint{owner, rangeType(reduce.Range{K: 0, M: i})}
+		m.Sinks[e] = true
+		m.SinkQuota[e] = new(big.Int).Set(quota)
+	}
+	for k, r := range sol.Sends {
+		count := rat.ScaleToInt(r, period)
+		if count.Sign() == 0 {
+			continue
 		}
-		return a.Produces < b.Produces
-	})
+		m.Transfers = append(m.Transfers, Transfer{
+			From: k.From, To: k.To, Type: rangeType(k.R), Count: count,
+		})
+	}
+	for k, r := range sol.Tasks {
+		count := rat.ScaleToInt(r, period)
+		if count.Sign() == 0 {
+			continue
+		}
+		m.Rules = append(m.Rules, Rule{
+			Node:     k.Node,
+			Consumes: []TypeID{rangeType(k.T.Left()), rangeType(k.T.Right())},
+			Produces: rangeType(k.T.Result()),
+			Count:    count,
+			Order:    k.T.Result().Len(),
+		})
+	}
+	sort.Slice(m.Transfers, func(i, j int) bool { return transferLess(m.Transfers[i], m.Transfers[j]) })
+	sort.Slice(m.Rules, func(i, j int) bool { return ruleLess(m.Rules[i], m.Rules[j]) })
 	return m
 }

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rat"
+)
+
+// fuzzModel decodes an arbitrary byte string into a small Model,
+// deliberately allowing every malformation Validate guards against —
+// negative or nil counts, out-of-range node IDs, empty types, quotas on
+// non-sinks, unquoted source-sinks — so the fuzzer can drive both the
+// happy path and the rejection path.
+func fuzzModel(data []byte) *Model {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	p := graph.New()
+	nodes := 2 + int(next()%3)
+	for i := 0; i < nodes; i++ {
+		p.AddNode(string(rune('a'+i)), rat.One())
+	}
+	// Node IDs decode into [-1, nodes]: mostly valid, sometimes not.
+	node := func() graph.NodeID { return graph.NodeID(int(next()%byte(nodes+2)) - 1) }
+	// Counts decode into [-1, 6] plus an occasional nil.
+	count := func() *big.Int {
+		b := next()
+		if b%13 == 0 {
+			return nil
+		}
+		return big.NewInt(int64(b%8) - 1)
+	}
+	types := []TypeID{"", "x", "y", "op0:x"}
+	typ := func() TypeID { return types[next()%byte(len(types))] }
+
+	m := &Model{
+		Platform:  p,
+		Period:    big.NewInt(int64(next()%4) - 1),
+		Sources:   make(map[Endpoint]bool),
+		Sinks:     make(map[Endpoint]bool),
+		SinkQuota: make(map[Endpoint]*big.Int),
+	}
+	for n := int(next() % 8); n > 0; n-- {
+		m.Transfers = append(m.Transfers, Transfer{From: node(), To: node(), Type: typ(), Count: count()})
+	}
+	for n := int(next() % 6); n > 0; n-- {
+		r := Rule{Node: node(), Produces: typ(), Count: count(), Order: int(next() % 4)}
+		for c := int(next() % 3); c > 0; c-- {
+			r.Consumes = append(r.Consumes, typ())
+		}
+		m.Rules = append(m.Rules, r)
+	}
+	for n := int(next() % 4); n > 0; n-- {
+		m.Sources[Endpoint{node(), typ()}] = true
+	}
+	for n := int(next() % 4); n > 0; n-- {
+		e := Endpoint{node(), typ()}
+		m.Sinks[e] = true
+		if next()%2 == 0 {
+			m.SinkQuota[e] = count()
+		}
+	}
+	if next()%4 == 0 {
+		// Quota on a non-sink endpoint.
+		m.SinkQuota[Endpoint{node(), typ()}] = count()
+	}
+	return m
+}
+
+// FuzzSimModel: hand-built or decoded models must never panic the replay
+// loop — Run and RunLatency either reject the model via Validate or
+// complete, and a model accepted by Validate must replay cleanly with
+// deliveries consistent between the two engines.
+func FuzzSimModel(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte("steady-state scatter and reduce"))
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := fuzzModel(data)
+		valid := m.Validate() == nil
+
+		res, err := Run(m, 4)
+		if valid && err != nil {
+			t.Fatalf("Run rejected a model Validate accepted: %v", err)
+		}
+		if !valid && err == nil {
+			t.Fatal("Run accepted a model Validate rejected")
+		}
+		lres, lerr := RunLatency(m, 4)
+		if (lerr == nil) != (err == nil) {
+			t.Fatalf("Run error %v but RunLatency error %v", err, lerr)
+		}
+		if err != nil {
+			return
+		}
+		for e, d := range res.Delivered {
+			if d.Sign() < 0 {
+				t.Fatalf("negative delivery at %v", e)
+			}
+			if ld := lres.Delivered[e]; ld == nil || ld.Cmp(d) != 0 {
+				t.Fatalf("sink %v: Run delivered %s, RunLatency %v", e, d, ld)
+			}
+		}
+	})
+}

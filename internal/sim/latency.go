@@ -96,6 +96,9 @@ func RunLatency(m *Model, periods int) (*LatencyResult, error) {
 	if periods <= 0 {
 		return nil, fmt.Errorf("sim: periods must be positive")
 	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
 	buf := make(map[Endpoint]*queue)
 	get := func(e Endpoint) *queue {
 		if buf[e] == nil {
@@ -201,13 +204,29 @@ func RunLatency(m *Model, periods int) (*LatencyResult, error) {
 			}
 		}
 
-		// Sinks drain and record latencies.
+		// Sinks drain and record latencies — everything, or up to the
+		// sink's quota (surplus cohorts stay queued for forwarding). A
+		// sink that is also a source delivers locally owned units: quota
+		// per period at latency zero.
 		for e := range m.Sinks {
+			if m.Sources[e] {
+				q := m.SinkQuota[e]
+				if q.Sign() > 0 {
+					res.MinLatency = 0 // zero is the floor: local units never wait
+					res.totalUnits.Add(res.totalUnits, q)
+					res.Delivered[e].Add(res.Delivered[e], q)
+				}
+				continue
+			}
 			q := get(e)
 			if q.total.Sign() == 0 {
 				continue
 			}
-			for _, c := range q.pop(new(big.Int).Set(q.total)) {
+			take := new(big.Int).Set(q.total)
+			if quota, ok := m.SinkQuota[e]; ok && take.Cmp(quota) > 0 {
+				take.Set(quota)
+			}
+			for _, c := range q.pop(take) {
 				lat := period - c.tag
 				if res.MinLatency == -1 || lat < res.MinLatency {
 					res.MinLatency = lat

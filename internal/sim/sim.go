@@ -13,18 +13,24 @@
 //
 // The engine is generic: a Model has typed buffers per node, per-period
 // transfer quotas, per-period production rules (reduction tasks), infinite
-// sources (initial values), and sinks that count deliveries. Adapters in
-// this package build models from scatter solutions, gossip solutions and
-// reduce applications; composite-style solutions (reduce-scatter,
-// allreduce, broadcast, arbitrary composites) have no adapter yet and
-// surface ErrUnsupported through the public API — extending the engine
-// to drive a merged schedule's buffered protocol is a ROADMAP item.
+// sources (initial values), and sinks that count deliveries (optionally up
+// to a per-period quota, with the surplus kept buffered for forwarding).
+// Adapters in this package build models from every solved kind: scatter
+// and gossip flows, reduce applications, broadcast solutions (the shared
+// carry stream replayed with per-target replication), prefix solutions
+// (quota sinks per rank), and — via Merge — composite solutions
+// (reduce-scatter, allreduce, arbitrary composites), whose member models
+// are superposed over the merged period under per-member commodity
+// namespaces.
 package sim
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math/big"
 	"sort"
+	"strings"
 
 	"repro/internal/graph"
 	"repro/internal/rat"
@@ -77,6 +83,96 @@ type Model struct {
 	// Sinks absorb and count their type (scatter targets; the reduce
 	// target's final value).
 	Sinks map[Endpoint]bool
+	// SinkQuota caps a sink's per-period absorption: at period end it
+	// drains min(quota, stock) and the surplus stays buffered for
+	// forwarding or consumption. Sinks without an entry drain everything.
+	// Prefix adapters use quota sinks because each rank both delivers its
+	// prefix v[0,i] at rate TP and may keep forwarding it downstream. An
+	// endpoint that is both a source and a sink (rank 0's locally owned
+	// v[0,0]) must carry a quota; it is credited that quota every period.
+	SinkQuota map[Endpoint]*big.Int
+}
+
+// Validate checks the model's structural invariants — positive period,
+// non-nil non-negative counts, node IDs on the platform, non-empty types,
+// and quota consistency — so that Run and RunLatency can reject malformed
+// (hand-built or decoded) models with an error instead of panicking.
+func (m *Model) Validate() error {
+	if m.Platform == nil {
+		return fmt.Errorf("sim: model has no platform")
+	}
+	if m.Period == nil || m.Period.Sign() <= 0 {
+		return fmt.Errorf("sim: model period must be positive")
+	}
+	n := graph.NodeID(m.Platform.NumNodes())
+	checkNode := func(id graph.NodeID, what string) error {
+		if id < 0 || id >= n {
+			return fmt.Errorf("sim: %s node %d outside platform (%d nodes)", what, id, n)
+		}
+		return nil
+	}
+	for _, t := range m.Transfers {
+		if err := checkNode(t.From, "transfer source"); err != nil {
+			return err
+		}
+		if err := checkNode(t.To, "transfer destination"); err != nil {
+			return err
+		}
+		if t.Type == "" {
+			return fmt.Errorf("sim: transfer %d→%d has an empty type", t.From, t.To)
+		}
+		if t.Count == nil || t.Count.Sign() < 0 {
+			return fmt.Errorf("sim: transfer %d→%d of %s has count %v", t.From, t.To, t.Type, t.Count)
+		}
+	}
+	for _, r := range m.Rules {
+		if err := checkNode(r.Node, "rule"); err != nil {
+			return err
+		}
+		if r.Produces == "" {
+			return fmt.Errorf("sim: rule at node %d produces an empty type", r.Node)
+		}
+		if len(r.Consumes) == 0 {
+			// A consumeless rule would be a free generator; unlimited local
+			// supply is what Sources model.
+			return fmt.Errorf("sim: rule at node %d producing %s consumes nothing", r.Node, r.Produces)
+		}
+		seen := make(map[TypeID]bool, len(r.Consumes))
+		for _, c := range r.Consumes {
+			if c == "" {
+				return fmt.Errorf("sim: rule at node %d consumes an empty type", r.Node)
+			}
+			if seen[c] {
+				return fmt.Errorf("sim: rule at node %d consumes %s twice", r.Node, c)
+			}
+			seen[c] = true
+		}
+		if r.Count == nil || r.Count.Sign() < 0 {
+			return fmt.Errorf("sim: rule at node %d producing %s has count %v", r.Node, r.Produces, r.Count)
+		}
+	}
+	for e := range m.Sources {
+		if err := checkNode(e.Node, "source"); err != nil {
+			return err
+		}
+		if m.Sinks[e] && m.SinkQuota[e] == nil {
+			return fmt.Errorf("sim: endpoint (%d, %s) is both source and sink but has no sink quota", e.Node, e.Type)
+		}
+	}
+	for e := range m.Sinks {
+		if err := checkNode(e.Node, "sink"); err != nil {
+			return err
+		}
+	}
+	for e, q := range m.SinkQuota {
+		if !m.Sinks[e] {
+			return fmt.Errorf("sim: quota on (%d, %s) which is not a sink", e.Node, e.Type)
+		}
+		if q == nil || q.Sign() < 0 {
+			return fmt.Errorf("sim: sink (%d, %s) has quota %v", e.Node, e.Type, q)
+		}
+	}
+	return nil
 }
 
 // Result reports a finished run.
@@ -108,6 +204,26 @@ func (r *Result) MinDelivered() *big.Int {
 	return new(big.Int).Set(min)
 }
 
+// MinDeliveredPrefix returns the smallest delivery count over the sinks
+// whose type starts with the given prefix — the per-member MinDelivered of
+// a merged composite model (use MemberPrefix(i) as the prefix). It returns
+// 0 when no sink matches.
+func (r *Result) MinDeliveredPrefix(prefix string) *big.Int {
+	var min *big.Int
+	for e, d := range r.Delivered {
+		if !strings.HasPrefix(string(e.Type), prefix) {
+			continue
+		}
+		if min == nil || d.Cmp(min) < 0 {
+			min = d
+		}
+	}
+	if min == nil {
+		return new(big.Int)
+	}
+	return new(big.Int).Set(min)
+}
+
 // Run simulates the model for the given number of periods using the
 // Section 3.4 protocol:
 //
@@ -117,13 +233,19 @@ func (r *Result) MinDelivered() *big.Int {
 //   - arrivals are credited after the sends of the period;
 //   - rules then run in Order, each up to its quota, limited by available
 //     inputs (inputs produced earlier in the same period may be consumed);
-//   - sinks drain and count their buffers at period end.
+//   - sinks drain and count their buffers at period end — all of it, or up
+//     to SinkQuota with the surplus kept buffered; a sink that is also a
+//     source counts its quota directly (locally owned deliveries).
 //
-// Run fails on internal inconsistencies (negative buffers), which would
-// indicate a protocol bug rather than a property of the plan.
+// Run fails on malformed models (Validate) and on internal inconsistencies
+// (negative buffers), which would indicate a protocol bug rather than a
+// property of the plan.
 func Run(m *Model, periods int) (*Result, error) {
 	if periods <= 0 {
 		return nil, fmt.Errorf("sim: periods must be positive")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
 	}
 	buf := make(map[Endpoint]*big.Int)
 	get := func(e Endpoint) *big.Int {
@@ -246,13 +368,25 @@ func Run(m *Model, periods int) (*Result, error) {
 			}
 		}
 
-		// Sinks drain.
+		// Sinks drain: everything, or up to the sink's per-period quota
+		// with the surplus left buffered for forwarding. A sink that is
+		// also a source holds unlimited local supply — its buffer is never
+		// stocked — so it counts its quota directly.
 		for e := range m.Sinks {
-			b := get(e)
-			if b.Sign() > 0 {
-				res.Delivered[e].Add(res.Delivered[e], b)
-				b.SetInt64(0)
+			if m.Sources[e] {
+				res.Delivered[e].Add(res.Delivered[e], m.SinkQuota[e])
+				continue
 			}
+			b := get(e)
+			if b.Sign() <= 0 {
+				continue
+			}
+			take := b
+			if q, ok := m.SinkQuota[e]; ok && b.Cmp(q) > 0 {
+				take = q
+			}
+			res.Delivered[e].Add(res.Delivered[e], take)
+			b.Sub(b, take)
 		}
 
 		if full && res.FirstFullPeriod == -1 {
@@ -270,4 +404,63 @@ func (r *Result) Throughput(period *big.Int) rat.Rat {
 		return rat.Zero()
 	}
 	return new(big.Rat).SetFrac(r.MinDelivered(), total)
+}
+
+// sortedEndpoints returns the endpoints of a set in canonical
+// (node, type) order.
+func sortedEndpoints(set map[Endpoint]bool) []Endpoint {
+	out := make([]Endpoint, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
+
+// Fingerprint returns a hex SHA-256 over a canonical byte encoding of the
+// model: the period, the platform size, every transfer and rule in stored
+// order, and the source/sink/quota sets in sorted endpoint order. Two
+// solves that agree on the fingerprint produce byte-identical replay
+// inputs — the anchor for the dense-vs-sparse and warm-vs-cold
+// replay-identity pins (the stored transfer/rule order is part of the
+// fingerprint on purpose: adapters must emit canonical order).
+func (m *Model) Fingerprint() string {
+	h := sha256.New()
+	nodes := 0
+	if m.Platform != nil {
+		nodes = m.Platform.NumNodes()
+	}
+	fmt.Fprintf(h, "period %s nodes %d\n", m.Period, nodes)
+	for _, t := range m.Transfers {
+		fmt.Fprintf(h, "t %d %d %s %s\n", t.From, t.To, t.Type, t.Count)
+	}
+	for _, r := range m.Rules {
+		fmt.Fprintf(h, "r %d %d %s %s <- %s\n", r.Node, r.Order, r.Produces, r.Count,
+			strings.Join(typeStrings(r.Consumes), ","))
+	}
+	for _, e := range sortedEndpoints(m.Sources) {
+		fmt.Fprintf(h, "src %d %s\n", e.Node, e.Type)
+	}
+	for _, e := range sortedEndpoints(m.Sinks) {
+		if q, ok := m.SinkQuota[e]; ok {
+			fmt.Fprintf(h, "sink %d %s quota %s\n", e.Node, e.Type, q)
+		} else {
+			fmt.Fprintf(h, "sink %d %s\n", e.Node, e.Type)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// typeStrings converts a type list for joining.
+func typeStrings(ts []TypeID) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = string(t)
+	}
+	return out
 }

@@ -1,0 +1,131 @@
+// Property test for schedule.MergeFlows under simulation: for randomized
+// seeded composites, (a) the merged periodic schedule must exist and
+// verify — the one-port check at matching granularity, which covers every
+// replay period since each period executes the same quotas — and (b) the
+// merged replay must deliver exactly what the members deliver when each
+// member's model is scaled to the merged period and replayed alone: the
+// member namespaces are disjoint, so superposition changes nothing but the
+// shared port budget, which the joint LP already priced in.
+package steadystate_test
+
+import (
+	"context"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	steadystate "repro"
+)
+
+// randPick returns n distinct participants in random order.
+func randPick(rng *rand.Rand, parts []steadystate.NodeID, n int) []steadystate.NodeID {
+	idx := rng.Perm(len(parts))[:n]
+	out := make([]steadystate.NodeID, n)
+	for i, j := range idx {
+		out[i] = parts[j]
+	}
+	return out
+}
+
+// randMemberSpec draws one random base-kind member over the participants.
+func randMemberSpec(rng *rand.Rand, parts []steadystate.NodeID) steadystate.Spec {
+	switch rng.Intn(5) {
+	case 0:
+		ns := randPick(rng, parts, 3)
+		return steadystate.ScatterSpec(ns[0], ns[1], ns[2])
+	case 1:
+		ns := randPick(rng, parts, 3)
+		return steadystate.BroadcastSpec(ns[0], ns[1], ns[2])
+	case 2:
+		return steadystate.GossipSpec(randPick(rng, parts, 2), randPick(rng, parts, 2))
+	case 3:
+		order := randPick(rng, parts, 3)
+		return steadystate.ReduceSpec(order, order[rng.Intn(len(order))])
+	default:
+		return steadystate.PrefixSpec(randPick(rng, parts, 3)...)
+	}
+}
+
+func TestMergeFlowsUnderSimulationProperty(t *testing.T) {
+	ctx := context.Background()
+	p6, order6, _ := steadystate.PaperFig6()
+	tiers := steadystate.Tiers(steadystate.DefaultTiersConfig(42))
+	platforms := []struct {
+		name  string
+		p     *steadystate.Platform
+		parts []steadystate.NodeID
+	}{
+		{"fig6", p6, order6},
+		{"tiers42", tiers, tiers.Participants()[:5]},
+	}
+	const periods = 30
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, plat := range platforms {
+			plat := plat
+			rng := rand.New(rand.NewSource(seed))
+			members := make([]steadystate.Spec, 2+rng.Intn(2))
+			weights := make([]steadystate.Rat, len(members))
+			for i := range members {
+				members[i] = randMemberSpec(rng, plat.parts)
+				weights[i] = steadystate.R(int64(1+rng.Intn(3)), 1)
+			}
+			t.Run(plat.name, func(t *testing.T) {
+				sol, err := steadystate.Solve(ctx, plat.p, steadystate.CompositeSpec(members, weights))
+				if err != nil {
+					t.Fatalf("seed %d: Solve: %v", seed, err)
+				}
+
+				// (a) One-port: the merged MergeFlows schedule exists and
+				// verifies; every replay period runs these exact quotas.
+				sched, err := sol.Schedule()
+				if err != nil {
+					t.Fatalf("seed %d: merged Schedule: %v", seed, err)
+				}
+				if err := sched.Verify(); err != nil {
+					t.Errorf("seed %d: merged schedule violates one-port: %v", seed, err)
+				}
+
+				// (b) Merged replay ≡ union of standalone member replays.
+				merged, err := sol.SimModel()
+				if err != nil {
+					t.Fatalf("seed %d: SimModel: %v", seed, err)
+				}
+				mres, err := steadystate.Simulate(merged, periods)
+				if err != nil {
+					t.Fatalf("seed %d: merged Simulate: %v", seed, err)
+				}
+				mergedTotal := new(big.Int)
+				for _, d := range mres.Delivered {
+					mergedTotal.Add(mergedTotal, d)
+				}
+				memberTotal := new(big.Int)
+				for i, member := range sol.(steadystate.Concurrent).Members() {
+					sub, err := member.SimModel()
+					if err != nil {
+						t.Fatalf("seed %d: member %d SimModel: %v", seed, i, err)
+					}
+					scaled, err := steadystate.MergeSimModels(plat.p, merged.Period,
+						[]*steadystate.SimModel{sub}, []string{steadystate.SimMemberPrefix(i)})
+					if err != nil {
+						t.Fatalf("seed %d: member %d scale: %v", seed, i, err)
+					}
+					sres, err := steadystate.Simulate(scaled, periods)
+					if err != nil {
+						t.Fatalf("seed %d: member %d Simulate: %v", seed, i, err)
+					}
+					for e, d := range sres.Delivered {
+						memberTotal.Add(memberTotal, d)
+						if got := mres.Delivered[e]; got == nil || got.Cmp(d) != 0 {
+							t.Errorf("seed %d: member %d sink %v delivered %s alone, %v merged",
+								seed, i, e, d, got)
+						}
+					}
+				}
+				if mergedTotal.Cmp(memberTotal) != 0 {
+					t.Errorf("seed %d: merged replay delivered %s, members alone delivered %s",
+						seed, mergedTotal, memberTotal)
+				}
+			})
+		}
+	}
+}

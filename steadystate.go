@@ -363,6 +363,32 @@ func GossipSimModel(sol *GossipSolution) *SimModel { return sim.GossipModel(sol)
 // ReduceSimModel builds the simulation model of a reduce application.
 func ReduceSimModel(app *ReduceApplication) *SimModel { return sim.ReduceModel(app) }
 
+// BroadcastSimModel builds the simulation model of a broadcast solution:
+// the shared carry stream y(e) is replayed with per-target replication —
+// each target's bundled virtual flow x(e, b_t) is its own commodity, so
+// delivered counts are checked against TP per target, not per physical
+// edge-copy.
+func BroadcastSimModel(sol *BroadcastSolution) *SimModel { return sim.BroadcastModel(sol) }
+
+// PrefixSimModel builds the simulation model of a prefix solution: every
+// rank delivers its prefix v[0,i] through a per-period quota sink (surplus
+// stays buffered for forwarding), and rank 0's locally owned v[0,0] is
+// credited directly.
+func PrefixSimModel(sol *PrefixSolution) *SimModel { return sim.PrefixModel(sol) }
+
+// MergeSimModels superposes per-member simulation models over a common
+// period (each member period must divide it), namespacing each member's
+// commodities with its label — the dynamic counterpart of the merged
+// one-port schedule. Composite solutions do this internally via SimModel.
+func MergeSimModels(p *Platform, period *big.Int, members []*SimModel, labels []string) (*SimModel, error) {
+	return sim.Merge(p, period, members, labels)
+}
+
+// SimMemberPrefix returns member i's commodity-namespace prefix ("op<i>:")
+// in a merged composite model; pass it to SimResult.MinDeliveredPrefix to
+// read that member's delivered counts.
+func SimMemberPrefix(i int) string { return sim.MemberPrefix(i) }
+
 // Simulate runs the Section 3.4 protocol for the given number of periods
 // and reports delivered operations, buffer high-water marks and the end of
 // the initialization phase.
